@@ -1,0 +1,37 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes the rendered table to ``benchmarks/results/<name>.txt`` (pytest
+captures stdout, so files are the canonical artifact). Traces are built
+once per session through the :mod:`repro.workloads` cache.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# Tile sampling cap per workload: keeps the full-grid benchmarks tractable
+# while remaining an unbiased density/cycle estimator.
+MAX_TILES = 24
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def bench_rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+def save_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

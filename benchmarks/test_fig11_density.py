@@ -1,0 +1,70 @@
+"""Fig. 11: density comparison — bit vs FS-neuron vs product sparsity.
+
+Paper: product sparsity reduces density by up to 19.7x and 5.0x on
+average versus bit sparsity, and 3.2x on average versus Stellar's FS
+neurons; every workload lands below ~5% product density in the paper
+(we reproduce the ordering and the multi-x reduction band).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import MAX_TILES, save_result
+from repro.analysis.density import density_report
+from repro.analysis.report import format_percent, format_table
+from repro.arch.report import geometric_mean
+from repro.workloads import FIG11_GRID, get_trace
+
+
+def regenerate(rng):
+    reports = []
+    for model, dataset in FIG11_GRID:
+        trace = get_trace(model, dataset, preset="paper")
+        reports.append(density_report(trace, max_tiles=MAX_TILES, rng=rng))
+    rows = [
+        [
+            f"{r.model}/{r.dataset}",
+            format_percent(r.bit_density),
+            format_percent(r.fs_density),
+            format_percent(r.product_density),
+            f"{r.reduction_vs_bit:.1f}x",
+        ]
+        for r in reports
+    ]
+    mean_bit = float(np.mean([r.bit_density for r in reports]))
+    mean_fs = float(np.mean([r.fs_density for r in reports]))
+    mean_pro = float(np.mean([r.product_density for r in reports]))
+    rows.append(
+        [
+            "MEAN",
+            format_percent(mean_bit),
+            format_percent(mean_fs),
+            format_percent(mean_pro),
+            f"{mean_bit / mean_pro:.1f}x",
+        ]
+    )
+    table = format_table(
+        ["workload", "bit (PTB/SATO)", "FS neuron (Stellar)", "product (ours)", "vs bit"],
+        rows,
+        title="Fig. 11 — density comparison "
+        "(paper: product sparsity 5.0x below bit on average, up to 19.7x)",
+    )
+    return table, reports
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11(benchmark, bench_rng):
+    table, reports = benchmark.pedantic(
+        regenerate, args=(bench_rng,), rounds=1, iterations=1
+    )
+    save_result("fig11_density", table)
+    # Product density below bit density on every workload.
+    assert all(r.product_density < r.bit_density for r in reports)
+    # Multi-x average reduction vs bit sparsity (paper 5.0x).
+    mean_reduction = geometric_mean([r.reduction_vs_bit for r in reports])
+    assert mean_reduction > 2.5
+    # Product sparsity also beats FS neurons on average (paper 3.2x).
+    fs_ratio = geometric_mean(
+        [r.fs_density / r.product_density for r in reports if r.product_density > 0]
+    )
+    assert fs_ratio > 1.0

@@ -1,0 +1,68 @@
+"""Fig. 7: tiling design-space exploration.
+
+Paper findings: larger m always lowers product density (more prefix
+scope) but area/power grow super-linearly; k has an interior optimum
+(k=16) because very wide rows rarely nest and very narrow rows carry
+<2 spikes. The selected configuration is m=256, k=16.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.analysis.report import format_table
+from repro.analysis.sweep import sweep_tile_sizes
+from repro.workloads import get_trace
+
+M_VALUES = (32, 64, 128, 256, 512, 1024)
+K_VALUES = (4, 8, 16, 32, 64, 128)
+
+
+def regenerate(rng):
+    traces = [
+        get_trace("vgg16", "cifar100", preset="paper"),
+        get_trace("sdt", "cifar10", preset="paper"),
+    ]
+    m_sweep, k_sweep = sweep_tile_sizes(
+        traces, m_values=M_VALUES, k_values=K_VALUES, max_tiles=10, rng=rng
+    )
+
+    def rows(points):
+        return [
+            [
+                p.tile_m, p.tile_k,
+                f"{p.product_density * 100:.2f}%",
+                f"{p.latency_vs_bit:.3f}",
+                f"{p.area_mm2:.3f}",
+                f"{p.relative_power_proxy:.2f}",
+            ]
+            for p in points
+        ]
+
+    headers = ["m", "k", "pro density", "latency vs bit", "area mm2", "power proxy"]
+    table = (
+        format_table(headers, rows(m_sweep), title="Fig. 7 (left) — sweep tile m (k=16)")
+        + "\n\n"
+        + format_table(headers, rows(k_sweep), title="Fig. 7 (right) — sweep tile k (m=256)")
+    )
+    return table, m_sweep, k_sweep
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7(benchmark, bench_rng):
+    table, m_sweep, k_sweep = benchmark.pedantic(
+        regenerate, args=(bench_rng,), rounds=1, iterations=1
+    )
+    save_result("fig7_tiling", table)
+    # Larger m -> monotonically lower (or equal) product density.
+    densities = [p.product_density for p in m_sweep]
+    assert densities[-1] < densities[0]
+    assert all(b <= a * 1.05 for a, b in zip(densities, densities[1:]))
+    # Area grows super-linearly in m.
+    areas = [p.area_mm2 for p in m_sweep]
+    assert areas[-1] / areas[-2] > areas[1] / areas[0]
+    # k has an interior optimum: k=16's density beats both extremes.
+    by_k = {p.tile_k: p.product_density for p in k_sweep}
+    assert by_k[16] <= by_k[128]
+    # Prosperity beats bit sparsity at the chosen configuration.
+    chosen = next(p for p in m_sweep if p.tile_m == 256)
+    assert chosen.latency_vs_bit < 1.0

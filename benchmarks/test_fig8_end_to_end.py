@@ -1,0 +1,73 @@
+"""Fig. 8: end-to-end speedup and energy efficiency across 16 workloads.
+
+Paper geomeans (vs Eyeriss baseline): Prosperity 7.4x over PTB and 1.8x
+over A100 in speedup; 8.0x and 193x in energy efficiency. Prior SNN
+ASICs run only the linear layers of spiking transformers (Sec. VII-A);
+the GPU and Prosperity run the full models.
+"""
+
+import pytest
+
+from benchmarks.conftest import MAX_TILES, save_result
+from repro.analysis.report import format_table
+from repro.arch.report import geometric_mean
+from repro.arch.simulator import ProsperitySimulator
+from repro.baselines import BASELINES
+from repro.workloads import FIG8_GRID, get_trace
+
+ACCELERATORS = ("eyeriss", "ptb", "sato", "mint", "a100")
+
+
+def regenerate(rng):
+    speedups: dict[str, list[float]] = {name: [] for name in (*ACCELERATORS, "prosperity")}
+    energy_gains: dict[str, list[float]] = {name: [] for name in (*ACCELERATORS, "prosperity")}
+    rows = []
+    for model, dataset in FIG8_GRID:
+        trace = get_trace(model, dataset, preset="paper")
+        reports = {name: BASELINES[name]().simulate(trace) for name in ACCELERATORS}
+        reports["prosperity"] = ProsperitySimulator(
+            max_tiles_per_workload=MAX_TILES, rng=rng
+        ).simulate(trace)
+        base = reports["eyeriss"]
+        row = [f"{model}/{dataset}"]
+        for name in (*ACCELERATORS, "prosperity"):
+            speedup = base.seconds / reports[name].seconds
+            gain = base.energy_j / reports[name].energy_j
+            speedups[name].append(speedup)
+            energy_gains[name].append(gain)
+            row.append(f"{speedup:.2f}/{gain:.1f}")
+        rows.append(row)
+    rows.append(
+        ["GEOMEAN"]
+        + [
+            f"{geometric_mean(speedups[name]):.2f}/{geometric_mean(energy_gains[name]):.1f}"
+            for name in (*ACCELERATORS, "prosperity")
+        ]
+    )
+    table = format_table(
+        ["workload"] + [f"{n} (spd/EE)" for n in (*ACCELERATORS, "prosperity")],
+        rows,
+        title="Fig. 8 — speedup / energy-efficiency gain vs Eyeriss "
+        "(paper geomean: Prosperity 7.4x over PTB, 1.8x over A100)",
+    )
+    return table, speedups, energy_gains
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8(benchmark, bench_rng):
+    table, speedups, energy_gains = benchmark.pedantic(
+        regenerate, args=(bench_rng,), rounds=1, iterations=1
+    )
+    save_result("fig8_end_to_end", table)
+    pro_speed = geometric_mean(speedups["prosperity"])
+    ptb_speed = geometric_mean(speedups["ptb"])
+    a100_speed = geometric_mean(speedups["a100"])
+    # Headline shape claims: Prosperity is the fastest ASIC by a wide
+    # margin over PTB and competitive-or-better against the A100.
+    assert pro_speed / ptb_speed > 3.0
+    assert pro_speed / a100_speed > 1.0
+    # Energy: Prosperity leads every baseline; the GPU is orders of
+    # magnitude behind (paper: 193x).
+    pro_energy = geometric_mean(energy_gains["prosperity"])
+    assert pro_energy == max(geometric_mean(v) for v in energy_gains.values())
+    assert pro_energy / geometric_mean(energy_gains["a100"]) > 50.0

@@ -1,0 +1,74 @@
+"""Fig. 9: ablation ladder.
+
+Paper (speedups vs Eyeriss=1.0): PTB 2.62 -> unstructured bit sparsity
+5.97 (2.28x) -> +ProSparsity with high-overhead dispatch 12.87 (2.16x)
+-> overhead-free dispatch 19.12 (1.49x).
+"""
+
+import pytest
+
+from benchmarks.conftest import MAX_TILES, save_result
+from repro.analysis.report import format_table
+from repro.arch.ppu import MODE_BIT, MODE_PROSPARSITY_SLOW, MODE_PROSPERITY
+from repro.arch.report import geometric_mean
+from repro.arch.simulator import ProsperitySimulator
+from repro.baselines import EyerissModel, PTBModel
+from repro.workloads import get_trace
+
+WORKLOADS = (
+    ("vgg16", "cifar100"),
+    ("resnet18", "cifar10"),
+    ("spikformer", "cifar10"),
+    ("spikingbert", "sst2"),
+)
+
+
+def regenerate(rng):
+    ladder = {
+        "eyeriss (dense)": [],
+        "ptb (structured bit)": [],
+        "bit unstructured": [],
+        "prosparsity slow dispatch": [],
+        "prosperity (overhead-free)": [],
+    }
+    for model, dataset in WORKLOADS:
+        trace = get_trace(model, dataset, preset="paper")
+        base = EyerissModel().simulate(trace).seconds
+        ladder["eyeriss (dense)"].append(1.0)
+        ladder["ptb (structured bit)"].append(
+            base / PTBModel().simulate(trace).seconds
+        )
+        for label, mode in (
+            ("bit unstructured", MODE_BIT),
+            ("prosparsity slow dispatch", MODE_PROSPARSITY_SLOW),
+            ("prosperity (overhead-free)", MODE_PROSPERITY),
+        ):
+            report = ProsperitySimulator(
+                mode=mode, max_tiles_per_workload=MAX_TILES, rng=rng
+            ).simulate(trace)
+            ladder[label].append(base / report.seconds)
+
+    geomeans = {label: geometric_mean(values) for label, values in ladder.items()}
+    rows = [[label, f"{value:.2f}x"] for label, value in geomeans.items()]
+    table = format_table(
+        ["configuration", "speedup vs dense"],
+        rows,
+        title="Fig. 9 — ablation ladder (paper: 1.00 / 2.62 / 5.97 / 12.87 / 19.12)",
+    )
+    return table, geomeans
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9(benchmark, bench_rng):
+    table, geomeans = benchmark.pedantic(
+        regenerate, args=(bench_rng,), rounds=1, iterations=1
+    )
+    save_result("fig9_ablation", table)
+    bit = geomeans["bit unstructured"]
+    ptb = geomeans["ptb (structured bit)"]
+    slow = geomeans["prosparsity slow dispatch"]
+    fast = geomeans["prosperity (overhead-free)"]
+    # Each rung improves on the previous (paper: 2.28x, 2.16x, 1.49x).
+    assert bit / ptb > 1.3
+    assert slow / bit > 1.3
+    assert 1.1 < fast / slow < 2.5

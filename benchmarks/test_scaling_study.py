@@ -1,0 +1,50 @@
+"""Sec. VIII-A: architecture scalability (intra- and inter-PPU).
+
+The paper discusses, without evaluating, two scaling directions: issuing
+multiple independent forest nodes per cycle (intra-PPU) and replicating
+PPUs over tiles (inter-PPU). This study quantifies both on a real trace:
+inter-PPU scales near-linearly (tiles are independent; imbalance costs a
+few percent), while intra-PPU saturates against the forest's prefix
+chains (critical path).
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.analysis.report import format_percent, format_ratio, format_table
+from repro.arch.scaling import scaling_study
+from repro.workloads import get_trace
+
+
+def regenerate(rng):
+    trace = get_trace("vgg16", "cifar100", preset="paper")
+    points = scaling_study(
+        trace, ppu_counts=(1, 2, 4, 8), issue_widths=(1, 2, 4),
+        max_tiles=24, rng=rng,
+    )
+    rows = [
+        [p.num_ppus, p.issue_width, format_ratio(p.speedup),
+         format_percent(p.efficiency)]
+        for p in points
+    ]
+    table = format_table(
+        ["PPUs", "issue width", "speedup", "efficiency"],
+        rows,
+        title="Sec. VIII-A — Prosperity scaling study (VGG-16/CIFAR100)",
+    )
+    return table, points
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling(benchmark, bench_rng):
+    table, points = benchmark.pedantic(
+        regenerate, args=(bench_rng,), rounds=1, iterations=1
+    )
+    save_result("scaling_study", table)
+    by_combo = {(p.num_ppus, p.issue_width): p for p in points}
+    # Inter-PPU: near-linear tile-level scaling.
+    assert by_combo[(8, 1)].speedup > 5.0
+    assert by_combo[(8, 1)].efficiency > 0.6
+    # Intra-PPU: saturates well below linear due to prefix chains.
+    assert by_combo[(1, 4)].speedup < 4.0
+    assert by_combo[(1, 4)].speedup > 1.2

@@ -1,0 +1,64 @@
+"""Table I: sparsity paradigm comparison on VGG-16.
+
+Paper row: Dense 100%/1.00x; PTB 34.21% bit density / 1.86x; Stellar
+9.80% FS density / 5.97x; Prosperity 2.79% product density / 17.55x.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import MAX_TILES, save_result
+from repro.analysis.density import density_report
+from repro.analysis.report import format_percent, format_ratio, format_table
+from repro.arch.simulator import ProsperitySimulator
+from repro.baselines import EyerissModel, PTBModel, StellarModel
+from repro.workloads import get_trace
+
+
+def regenerate(rng):
+    trace = get_trace("vgg16", "cifar100", preset="paper")
+    densities = density_report(trace, max_tiles=MAX_TILES, rng=rng)
+    eyeriss = EyerissModel().simulate(trace)
+    ptb = PTBModel().simulate(trace)
+    stellar = StellarModel().simulate(trace)
+    prosperity = ProsperitySimulator(
+        max_tiles_per_workload=MAX_TILES, rng=rng
+    ).simulate(trace)
+    rows = [
+        ["Dense (Eyeriss)", "none", "100%", "-", format_ratio(1.0)],
+        [
+            "PTB", "structured bit",
+            format_percent(densities.bit_density), "-",
+            format_ratio(eyeriss.seconds / ptb.seconds),
+        ],
+        [
+            "Stellar", "FS neuron",
+            format_percent(densities.fs_density), "-",
+            format_ratio(eyeriss.seconds / stellar.seconds),
+        ],
+        [
+            "Prosperity", "ProSparsity",
+            format_percent(densities.bit_density),
+            format_percent(densities.product_density),
+            format_ratio(eyeriss.seconds / prosperity.seconds),
+        ],
+    ]
+    table = format_table(
+        ["design", "sparsity", "bit density", "pro density", "speedup"],
+        rows,
+        title="Table I — VGG-16 (CIFAR100): sparsity paradigms "
+        "(paper: 34.21% bit, 2.79% pro, 1.86x/5.97x/17.55x)",
+    )
+    return table, densities, eyeriss, ptb, stellar, prosperity
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1(benchmark, bench_rng):
+    table, densities, eyeriss, ptb, stellar, prosperity = benchmark.pedantic(
+        regenerate, args=(bench_rng,), rounds=1, iterations=1
+    )
+    save_result("table1_vgg16", table)
+    # Shape claims of Table I.
+    assert densities.product_density < densities.fs_density < densities.bit_density
+    assert eyeriss.seconds > ptb.seconds > stellar.seconds > prosperity.seconds
+    assert eyeriss.seconds / prosperity.seconds > 8.0

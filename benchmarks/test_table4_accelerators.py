@@ -1,0 +1,69 @@
+"""Table IV: accelerator comparison on VGG-16 (CIFAR100).
+
+Paper (normalized to Eyeriss): throughput 1.00/1.14/1.41/2.11/6.48/13.27x,
+energy efficiency 1.00/2.98/2.05/4.53/8.57/17.98x; Prosperity area
+0.529 mm^2 with the best area efficiency (26.78x).
+"""
+
+import pytest
+
+from benchmarks.conftest import MAX_TILES, save_result
+from repro.analysis.report import format_table
+from repro.arch.simulator import ProsperitySimulator
+from repro.baselines import BASELINES
+from repro.workloads import get_trace
+
+ASICS = ("eyeriss", "sato", "ptb", "mint", "stellar")
+
+
+def regenerate(rng):
+    trace = get_trace("vgg16", "cifar100", preset="paper")
+    reports = {name: BASELINES[name]().simulate(trace) for name in ASICS}
+    prosperity_sim = ProsperitySimulator(max_tiles_per_workload=MAX_TILES, rng=rng)
+    reports["prosperity"] = prosperity_sim.simulate(trace)
+    areas = {name: BASELINES[name]().area_mm2 for name in ASICS}
+    areas["prosperity"] = prosperity_sim.area_mm2
+
+    eyeriss = reports["eyeriss"]
+    rows = []
+    for name in (*ASICS, "prosperity"):
+        report = reports[name]
+        gops = report.throughput_gops()
+        eff = report.energy_efficiency_gops_per_j()
+        rows.append(
+            [
+                name,
+                areas[name],
+                gops,
+                f"{eyeriss.seconds / report.seconds:.2f}x",
+                eff,
+                f"{eyeriss.energy_j / report.energy_j:.2f}x",
+                gops / areas[name],
+            ]
+        )
+    table = format_table(
+        ["design", "area mm2", "GOP/s", "speedup", "GOP/J", "EE gain", "GOP/s/mm2"],
+        rows,
+        title="Table IV — VGG-16 accelerator comparison "
+        "(paper speedups 1/1.14/1.41/2.11/6.48/13.27)",
+    )
+    return table, reports, areas
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4(benchmark, bench_rng):
+    table, reports, areas = benchmark.pedantic(
+        regenerate, args=(bench_rng,), rounds=1, iterations=1
+    )
+    save_result("table4_accelerators", table)
+    seconds = {name: r.seconds for name, r in reports.items()}
+    # Paper ordering: Eyeriss slowest, then SATO/PTB, MINT, Stellar,
+    # Prosperity fastest.
+    assert seconds["eyeriss"] == max(seconds.values())
+    assert seconds["prosperity"] == min(seconds.values())
+    assert seconds["stellar"] < seconds["mint"] < seconds["ptb"]
+    # Energy efficiency: Prosperity best (paper 17.98x vs Eyeriss).
+    effs = {n: r.energy_efficiency_gops_per_j() for n, r in reports.items()}
+    assert effs["prosperity"] == max(effs.values())
+    # Area: smallest among ASICs with the best area efficiency.
+    assert areas["prosperity"] == min(areas.values())

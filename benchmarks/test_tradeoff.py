@@ -1,0 +1,55 @@
+"""Sec. VII-G: cost trade-off of ProSparsity processing.
+
+Paper: TCAM bit-ops (m^2 k per tile) vs saved accumulations
+(dS * m * k * n), with one accumulate worth 45 TCAM bit-ops; break-even
+dS = 4.4%, and at the measured average dS = 13.35% the benefit-cost
+ratio is 3.0x.
+"""
+
+import pytest
+
+from benchmarks.conftest import MAX_TILES, save_result
+from repro.analysis.density import trace_prosparsity_stats
+from repro.analysis.report import format_table
+from repro.analysis.tradeoff import breakeven_sparsity_increase, evaluate_tradeoff
+from repro.workloads import get_trace
+
+WORKLOADS = (("vgg16", "cifar100"), ("spikformer", "cifar10"), ("spikebert", "sst2"))
+
+
+def regenerate(rng):
+    breakeven = breakeven_sparsity_increase()
+    rows = [["(paper operating point)", "13.35%", f"{evaluate_tradeoff(0.1335).benefit_cost_ratio:.2f}x", "yes"]]
+    measured = []
+    for model, dataset in WORKLOADS:
+        trace = get_trace(model, dataset, preset="paper")
+        stats = trace_prosparsity_stats(trace, max_tiles=MAX_TILES, rng=rng)
+        ds = stats.bit_density - stats.product_density
+        result = evaluate_tradeoff(ds)
+        measured.append(result)
+        rows.append(
+            [
+                f"{model}/{dataset}",
+                f"{ds * 100:.2f}%",
+                f"{result.benefit_cost_ratio:.2f}x",
+                "yes" if result.profitable else "no",
+            ]
+        )
+    table = format_table(
+        ["workload", "sparsity increase dS", "benefit/cost", "profitable"],
+        rows,
+        title=f"Sec. VII-G — cost trade-off (break-even dS = "
+        f"{breakeven * 100:.1f}%, paper 4.4%)",
+    )
+    return table, breakeven, measured
+
+
+@pytest.mark.benchmark(group="tradeoff")
+def test_tradeoff(benchmark, bench_rng):
+    table, breakeven, measured = benchmark.pedantic(
+        regenerate, args=(bench_rng,), rounds=1, iterations=1
+    )
+    save_result("tradeoff", table)
+    assert breakeven == pytest.approx(0.0444, abs=1e-3)
+    # Every evaluated workload clears the break-even threshold.
+    assert all(result.profitable for result in measured)

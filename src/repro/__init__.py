@@ -1,0 +1,41 @@
+"""repro — reproduction of "Prosperity: Accelerating Spiking Neural
+Networks via Product Sparsity" (Wei et al., HPCA 2025).
+
+Layered public API:
+
+* :mod:`repro.core` — Product Sparsity: relations, forest, dispatch, and
+  the lossless ProSparsity spiking GeMM.
+* :mod:`repro.snn` — NumPy SNN substrate (LIF/FS neurons, conv/linear/
+  attention layers, the paper's model zoo, workload tracing).
+* :mod:`repro.arch` — the Prosperity accelerator simulator (PPU pipeline,
+  memory system, 28 nm area/energy models).
+* :mod:`repro.baselines` — Eyeriss, PTB, SATO, MINT, Stellar, LoAS, A100.
+* :mod:`repro.analysis` — density studies, tiling DSE, cost trade-off.
+* :mod:`repro.workloads` — the cached model x dataset evaluation grid.
+"""
+
+from repro.arch import ProsperityConfig, ProsperitySimulator, SimReport
+from repro.core import (
+    SpikeMatrix,
+    execute_gemm,
+    transform_matrix,
+)
+from repro.snn import GeMMWorkload, ModelTrace
+from repro.workloads import FIG8_GRID, FIG11_GRID, get_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProsperityConfig",
+    "ProsperitySimulator",
+    "SimReport",
+    "SpikeMatrix",
+    "execute_gemm",
+    "transform_matrix",
+    "GeMMWorkload",
+    "ModelTrace",
+    "FIG8_GRID",
+    "FIG11_GRID",
+    "get_trace",
+    "__version__",
+]

@@ -1,0 +1,50 @@
+"""Experiment analysis: densities, design sweeps, ablations, trade-offs."""
+
+from repro.analysis.ablation import (
+    ORDER_POLICIES,
+    PREFIX_POLICIES,
+    AblationPoint,
+    ablate_design_choices,
+    tile_density_under_policy,
+)
+from repro.analysis.density import (
+    DensityReport,
+    TwoPrefixReport,
+    density_report,
+    trace_prosparsity_stats,
+    two_prefix_report,
+)
+from repro.analysis.plots import bar_chart, grouped_bar_chart, sparkline
+from repro.analysis.report import format_percent, format_ratio, format_table
+from repro.analysis.sweep import SweepPoint, sweep_tile_sizes
+from repro.analysis.tradeoff import (
+    ADD_TO_TCAM_RATIO,
+    TradeoffResult,
+    breakeven_sparsity_increase,
+    evaluate_tradeoff,
+)
+
+__all__ = [
+    "ORDER_POLICIES",
+    "PREFIX_POLICIES",
+    "AblationPoint",
+    "ablate_design_choices",
+    "tile_density_under_policy",
+    "bar_chart",
+    "grouped_bar_chart",
+    "sparkline",
+    "DensityReport",
+    "TwoPrefixReport",
+    "density_report",
+    "trace_prosparsity_stats",
+    "two_prefix_report",
+    "format_percent",
+    "format_ratio",
+    "format_table",
+    "SweepPoint",
+    "sweep_tile_sizes",
+    "ADD_TO_TCAM_RATIO",
+    "TradeoffResult",
+    "breakeven_sparsity_increase",
+    "evaluate_tradeoff",
+]

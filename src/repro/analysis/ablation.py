@@ -1,0 +1,151 @@
+"""Design-choice ablations for the ProSparsity heuristics.
+
+Two decisions DESIGN.md calls out, quantified here:
+
+* **Prefix selection policy** (Sec. III-D pruning rules): the paper keeps
+  the *largest* subset (ties to the largest index). Alternatives —
+  smallest subset, lowest index, random — remain correct (any subset is
+  reusable) but recover less sparsity.
+* **Execution order** (Sec. III-C temporal relationship): the stable
+  popcount sort allows a row to reuse *any* subset row. Processing rows
+  in program order (top to bottom) restricts prefixes to smaller indices
+  — the paper's Fig. 1/2 motivation ("if Row 0 is processed first, it
+  cannot reuse the result from Row 3") — measurably hurting density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.forest import NO_PREFIX
+from repro.core.graph import build_graph
+from repro.core.spike_matrix import SpikeMatrix, SpikeTile
+from repro.snn.trace import ModelTrace
+
+PREFIX_POLICIES = ("largest", "smallest", "lowest_index", "random", "none")
+ORDER_POLICIES = ("sorted", "program")
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """Product density achieved by one (policy, order) combination."""
+
+    prefix_policy: str
+    order_policy: str
+    product_density: float
+    bit_density: float
+
+    @property
+    def reduction(self) -> float:
+        if self.product_density == 0:
+            return float("inf")
+        return self.bit_density / self.product_density
+
+
+def _select_with_policy(
+    candidates: np.ndarray,
+    popcounts: np.ndarray,
+    policy: str,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One prefix per row under the given selection policy."""
+    m = candidates.shape[0]
+    prefix = np.full(m, NO_PREFIX, dtype=np.int64)
+    if policy == "none":
+        return prefix
+    index = np.arange(m)
+    for row in range(m):
+        options = np.flatnonzero(candidates[row])
+        if options.size == 0:
+            continue
+        if policy == "largest":
+            key = popcounts[options] * m + index[options]
+            prefix[row] = options[int(key.argmax())]
+        elif policy == "smallest":
+            key = popcounts[options] * m + index[options]
+            prefix[row] = options[int(key.argmin())]
+        elif policy == "lowest_index":
+            prefix[row] = options[0]
+        elif policy == "random":
+            prefix[row] = int(rng.choice(options))
+        else:
+            raise ValueError(f"unknown prefix policy {policy!r}")
+    return prefix
+
+
+def tile_density_under_policy(
+    tile: SpikeTile,
+    prefix_policy: str = "largest",
+    order_policy: str = "sorted",
+    rng: np.random.Generator | None = None,
+) -> tuple[int, int]:
+    """(bit_nnz, product_nnz) for one tile under the chosen policies."""
+    if prefix_policy not in PREFIX_POLICIES:
+        raise ValueError(f"unknown prefix policy {prefix_policy!r}")
+    if order_policy not in ORDER_POLICIES:
+        raise ValueError(f"unknown order policy {order_policy!r}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    graph = build_graph(tile)
+    candidates = graph.prefix_candidates.copy()
+    if order_policy == "program":
+        # Top-to-bottom execution: only smaller-index rows are finished.
+        index = np.arange(tile.m)
+        candidates &= index[None, :] < index[:, None]
+    prefix = _select_with_policy(candidates, graph.popcounts, prefix_policy, rng)
+    bit_nnz = int(graph.popcounts.sum())
+    product = 0
+    for row in range(tile.m):
+        if prefix[row] == NO_PREFIX:
+            product += int(graph.popcounts[row])
+        else:
+            residual = tile.bits[row] & ~tile.bits[prefix[row]]
+            product += int(residual.sum())
+    return bit_nnz, product
+
+
+def ablate_design_choices(
+    trace: ModelTrace,
+    tile_m: int = 256,
+    tile_k: int = 16,
+    max_tiles_per_workload: int = 4,
+    rng: np.random.Generator | None = None,
+) -> list[AblationPoint]:
+    """Evaluate every (prefix policy, order policy) pair over a trace."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    tiles: list[SpikeTile] = []
+    for workload in trace.workloads:
+        matrix = SpikeMatrix(workload.spikes.bits)
+        all_tiles = list(matrix.tile(tile_m, tile_k))
+        if len(all_tiles) > max_tiles_per_workload:
+            chosen = rng.choice(
+                len(all_tiles), size=max_tiles_per_workload, replace=False
+            )
+            all_tiles = [all_tiles[int(i)] for i in chosen]
+        tiles.extend(all_tiles)
+
+    points = []
+    for prefix_policy in PREFIX_POLICIES:
+        for order_policy in ORDER_POLICIES:
+            if prefix_policy == "none" and order_policy == "program":
+                continue  # identical to (none, sorted)
+            bit_total = 0
+            product_total = 0
+            elements = 0
+            for tile in tiles:
+                bit_nnz, product = tile_density_under_policy(
+                    tile, prefix_policy, order_policy, rng
+                )
+                bit_total += bit_nnz
+                product_total += product
+                elements += tile.bits.size
+            points.append(
+                AblationPoint(
+                    prefix_policy=prefix_policy,
+                    order_policy=order_policy,
+                    product_density=product_total / elements if elements else 0.0,
+                    bit_density=bit_total / elements if elements else 0.0,
+                )
+            )
+    return points

@@ -1,0 +1,82 @@
+"""Terminal-friendly chart rendering for figure-style benchmark output.
+
+The paper's figures are bar/line charts; these helpers render the same
+series as unicode bars so `benchmarks/results/*.txt` can carry a visual
+alongside the numeric table, with zero plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def hbar(value: float, peak: float, width: int = 40) -> str:
+    """One horizontal bar scaled so ``peak`` fills ``width`` cells."""
+    if peak <= 0:
+        return ""
+    fraction = max(0.0, min(value / peak, 1.0)) * width
+    full = int(fraction)
+    remainder = fraction - full
+    partial_index = int(remainder * (len(_BLOCKS) - 1))
+    partial = _BLOCKS[partial_index] if partial_index and full < width else ""
+    return "█" * full + partial
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Render a labelled horizontal bar chart."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    lines = [title] if title else []
+    if not values:
+        return "\n".join(lines)
+    peak = max(values)
+    label_width = max(len(str(label)) for label in labels)
+    for label, value in zip(labels, values):
+        bar = hbar(value, peak, width)
+        lines.append(f"{str(label).ljust(label_width)} |{bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = 30,
+    title: str | None = None,
+) -> str:
+    """Several series per label, one bar row per (label, series) pair."""
+    lines = [title] if title else []
+    peak = max((max(values) for values in series.values() if len(values)), default=0.0)
+    if peak <= 0:
+        return "\n".join(lines)
+    label_width = max(len(str(label)) for label in labels)
+    series_width = max(len(name) for name in series)
+    for i, label in enumerate(labels):
+        for name, values in series.items():
+            bar = hbar(values[i], peak, width)
+            lines.append(
+                f"{str(label).ljust(label_width)} {name.ljust(series_width)} "
+                f"|{bar} {values[i]:.3g}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Compact single-line trend (used for sweep curves)."""
+    if not values:
+        return ""
+    ticks = "▁▂▃▄▅▆▇█"
+    low, high = min(values), max(values)
+    span = high - low or 1.0
+    return "".join(
+        ticks[min(int((value - low) / span * (len(ticks) - 1)), len(ticks) - 1)]
+        for value in values
+    )

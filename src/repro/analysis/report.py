@@ -1,0 +1,53 @@
+"""Plain-text table rendering for benchmark outputs."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an ASCII table matching the repo's benchmark output style."""
+    columns = [
+        [str(header)] + [_fmt(row[i]) for row in rows]
+        for i, header in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            " | ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        if abs(value) >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.2e}"
+    return str(value)
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_ratio(value: float, digits: int = 2) -> str:
+    if value == float("inf"):
+        return "inf"
+    return f"{value:.{digits}f}x"

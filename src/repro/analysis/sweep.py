@@ -1,0 +1,101 @@
+"""Tiling design-space exploration (Fig. 7) over m and k."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.config import ProsperityConfig
+from repro.arch.energy import area_model
+from repro.arch.ppu import MODE_BIT, MODE_PROSPERITY
+from repro.arch.simulator import ProsperitySimulator
+from repro.analysis.density import trace_prosparsity_stats
+from repro.snn.trace import ModelTrace
+
+
+@dataclass
+class SweepPoint:
+    """One (m, k) configuration's outcome, averaged over the given traces."""
+
+    tile_m: int
+    tile_k: int
+    product_density: float
+    bit_density: float
+    latency_vs_bit: float      # Prosperity latency / bit-sparsity latency
+    area_mm2: float
+    relative_area: float       # normalized to the Table III configuration
+    relative_power_proxy: float  # TCAM+table activity scaling with m
+
+
+def _latency_ratio(
+    traces: list[ModelTrace],
+    config: ProsperityConfig,
+    max_tiles: int,
+    rng: np.random.Generator,
+) -> float:
+    """Prosperity-vs-bit-sparsity latency on the same hardware."""
+    pro_cycles = 0.0
+    bit_cycles = 0.0
+    for trace in traces:
+        pro = ProsperitySimulator(
+            config=config, mode=MODE_PROSPERITY,
+            max_tiles_per_workload=max_tiles, rng=rng,
+        ).simulate(trace)
+        bit = ProsperitySimulator(
+            config=config, mode=MODE_BIT,
+            max_tiles_per_workload=max_tiles, rng=rng,
+        ).simulate(trace)
+        pro_cycles += pro.cycles
+        bit_cycles += bit.cycles
+    return pro_cycles / bit_cycles if bit_cycles else 0.0
+
+
+def sweep_tile_sizes(
+    traces: list[ModelTrace],
+    m_values: tuple[int, ...] = (32, 64, 128, 256, 512, 1024, 2048),
+    k_values: tuple[int, ...] = (4, 8, 16, 32, 64, 128),
+    base_config: ProsperityConfig | None = None,
+    max_tiles: int = 24,
+    rng: np.random.Generator | None = None,
+) -> tuple[list[SweepPoint], list[SweepPoint]]:
+    """Fig. 7's two sweeps: vary m at fixed k, and k at fixed m.
+
+    Returns ``(m_sweep, k_sweep)``. Density always falls with larger m
+    (larger prefix search scope) while a middle k is optimal; area/power
+    grow super-linearly with m.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    base = base_config if base_config is not None else ProsperityConfig()
+    base_area = area_model(base).total
+
+    def evaluate(m: int, k: int) -> SweepPoint:
+        config = base.with_tile(m=m, k=k)
+        stats_total = None
+        for trace in traces:
+            stats = trace_prosparsity_stats(
+                trace, tile_m=m, tile_k=k, max_tiles=max_tiles, rng=rng
+            )
+            if stats_total is None:
+                stats_total = stats
+            else:
+                stats_total.merge(stats)
+        assert stats_total is not None
+        area = area_model(config).total
+        # Power proxy: TCAM search activity per processed row scales with
+        # m * k; normalized to the base configuration.
+        power_proxy = (m * k) / (base.tile_m * base.tile_k)
+        return SweepPoint(
+            tile_m=m,
+            tile_k=k,
+            product_density=stats_total.product_density,
+            bit_density=stats_total.bit_density,
+            latency_vs_bit=_latency_ratio(traces, config, max_tiles, rng),
+            area_mm2=area,
+            relative_area=area / base_area,
+            relative_power_proxy=power_proxy,
+        )
+
+    m_sweep = [evaluate(m, base.tile_k) for m in m_values]
+    k_sweep = [evaluate(base.tile_m, k) for k in k_values]
+    return m_sweep, k_sweep

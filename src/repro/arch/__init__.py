@@ -1,0 +1,60 @@
+"""Prosperity architecture simulator."""
+
+from repro.arch.config import DEFAULT_CONFIG, BufferConfig, DRAMConfig, ProsperityConfig
+from repro.arch.energy import AreaBreakdown, EnergyModel, area_model
+from repro.arch.memory import Buffer, MemorySystem, TrafficSummary
+from repro.arch.neuron_array import NeuronArray
+from repro.arch.ppu import (
+    MODE_BIT,
+    MODE_DENSE,
+    MODE_PROSPARSITY_SLOW,
+    MODE_PROSPERITY,
+    MODES,
+    PPU,
+    pipeline_tile_cycles,
+)
+from repro.arch.report import (
+    LayerResult,
+    SimReport,
+    energy_efficiency_gain,
+    geometric_mean,
+    speedup,
+)
+from repro.arch.scaling import ScalingPoint, multi_ppu_workload_cycles, scaling_study
+from repro.arch.sfu import SFU
+from repro.arch.simulator import ProsperitySimulator
+from repro.arch.sorter import BitonicSorter
+from repro.arch.tcam import TCAM
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "BufferConfig",
+    "DRAMConfig",
+    "ProsperityConfig",
+    "AreaBreakdown",
+    "EnergyModel",
+    "area_model",
+    "Buffer",
+    "MemorySystem",
+    "TrafficSummary",
+    "NeuronArray",
+    "MODE_BIT",
+    "MODE_DENSE",
+    "MODE_PROSPARSITY_SLOW",
+    "MODE_PROSPERITY",
+    "MODES",
+    "PPU",
+    "pipeline_tile_cycles",
+    "LayerResult",
+    "SimReport",
+    "energy_efficiency_gain",
+    "geometric_mean",
+    "speedup",
+    "ScalingPoint",
+    "multi_ppu_workload_cycles",
+    "scaling_study",
+    "SFU",
+    "ProsperitySimulator",
+    "BitonicSorter",
+    "TCAM",
+]

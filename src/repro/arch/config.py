@@ -1,0 +1,94 @@
+"""Prosperity architecture configuration (paper Table III)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BufferConfig:
+    """On-chip SRAM sizes in bytes (spike / weight / output buffers)."""
+
+    spike_bytes: int = 8 * 1024
+    weight_bytes: int = 32 * 1024
+    output_bytes: int = 96 * 1024
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """DDR4 4Gb x16 2133R, 4 channels => 64 GB/s aggregate."""
+
+    bandwidth_bytes_per_s: float = 64e9
+    energy_per_byte_pj: float = 20.0
+
+    def bytes_per_cycle(self, frequency_hz: float) -> float:
+        return self.bandwidth_bytes_per_s / frequency_hz
+
+
+@dataclass(frozen=True)
+class ProsperityConfig:
+    """Full Table III setup.
+
+    Tile sizes ``m/n/k``, PE array width, pipeline depths, unit counts and
+    memory system. ``prosparsity_pipeline_depth`` covers Detector steps
+    2-6 (Fig. 5); ``processor_pipeline_depth`` covers issue/decode-load/
+    execute/write-back.
+    """
+
+    tile_m: int = 256
+    tile_n: int = 128
+    tile_k: int = 16
+    num_pes: int = 128
+    frequency_hz: float = 500e6
+    weight_bits: int = 8
+    prosparsity_pipeline_depth: int = 4
+    processor_pipeline_depth: int = 4
+    tcam_entries: int = 256
+    popcount_units: int = 8
+    neuron_array_cells: int = 32
+    sfu_mul_units: int = 32
+    sfu_exp_units: int = 8
+    buffers: BufferConfig = field(default_factory=BufferConfig)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+
+    def __post_init__(self) -> None:
+        if self.tile_m <= 0 or self.tile_n <= 0 or self.tile_k <= 0:
+            raise ValueError("tile sizes must be positive")
+        if self.num_pes <= 0:
+            raise ValueError("num_pes must be positive")
+        if self.tile_n > self.num_pes:
+            raise ValueError(
+                f"tile_n ({self.tile_n}) cannot exceed PE count ({self.num_pes}): "
+                "one PE produces one output column per cycle"
+            )
+
+    def with_tile(self, m: int | None = None, k: int | None = None) -> "ProsperityConfig":
+        """Copy with modified tile sizes (for the Fig. 7 design sweep).
+
+        On-chip buffers are resized to hold the new tiles (never below the
+        Table III baseline) — this is what makes area and power grow
+        super-linearly with m in the sweep, exactly the cost the paper
+        weighs against the latency gains.
+        """
+        from dataclasses import replace
+
+        new_m = m if m is not None else self.tile_m
+        new_k = k if k is not None else self.tile_k
+        base = BufferConfig()
+        buffers = BufferConfig(
+            spike_bytes=max(base.spike_bytes, 2 * new_m * new_k // 8),
+            weight_bytes=max(
+                base.weight_bytes, 2 * new_k * self.tile_n * self.weight_bits // 8
+            ),
+            output_bytes=max(base.output_bytes, new_m * self.tile_n * 3),
+        )
+        return replace(
+            self,
+            tile_m=new_m,
+            tile_k=new_k,
+            tcam_entries=new_m,
+            buffers=buffers,
+        )
+
+
+DEFAULT_CONFIG = ProsperityConfig()

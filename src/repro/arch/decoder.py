@@ -1,0 +1,38 @@
+"""Address decoder model — bit-scan-forward spike consumption (Sec. V-E).
+
+The Processor's decoder repeatedly finds the first set bit of the
+ProSparsity pattern (one spike per cycle), emits the weight-buffer address
+for that column, and clears the bit — supporting fully unstructured
+sparsity with one accumulate per cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.bitops import bit_scan_forward
+
+
+class AddressDecoder:
+    """Walks a residual pattern, producing one weight address per cycle."""
+
+    def __init__(self, weight_row_bytes: int):
+        if weight_row_bytes <= 0:
+            raise ValueError("weight_row_bytes must be positive")
+        self.weight_row_bytes = weight_row_bytes
+
+    def decode_row(self, pattern: np.ndarray) -> list[int]:
+        """All weight-buffer byte addresses for a pattern, in issue order."""
+        remaining = np.array(pattern, dtype=bool)
+        addresses: list[int] = []
+        while True:
+            index = bit_scan_forward(remaining)
+            if index < 0:
+                break
+            addresses.append(index * self.weight_row_bytes)
+            remaining[index] = False  # flip the found bit (Step 10)
+        return addresses
+
+    def cycles(self, pattern_nnz: int) -> int:
+        """One accumulate cycle per residual spike; EM rows take one cycle."""
+        return max(1, int(pattern_nnz))

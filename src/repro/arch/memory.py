@@ -1,0 +1,90 @@
+"""On-chip buffers and DRAM traffic model (double-buffered streaming)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.config import ProsperityConfig
+
+
+@dataclass
+class Buffer:
+    """An SRAM buffer with capacity checking and access counters."""
+
+    name: str
+    capacity_bytes: int
+    reads_bytes: float = 0.0
+    writes_bytes: float = 0.0
+
+    def check_fits(self, bytes_needed: int) -> None:
+        if bytes_needed > self.capacity_bytes:
+            raise ValueError(
+                f"{self.name} buffer overflow: need {bytes_needed} B, "
+                f"capacity {self.capacity_bytes} B"
+            )
+
+    def read(self, num_bytes: float) -> None:
+        self.reads_bytes += num_bytes
+
+    def write(self, num_bytes: float) -> None:
+        self.writes_bytes += num_bytes
+
+
+@dataclass
+class TrafficSummary:
+    """DRAM bytes moved for one workload."""
+
+    spike_bytes: float = 0.0
+    weight_bytes: float = 0.0
+    output_bytes: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.spike_bytes + self.weight_bytes + self.output_bytes
+
+
+@dataclass
+class MemorySystem:
+    """Buffers + DRAM for one Prosperity instance.
+
+    Implements the tiling loop's traffic pattern (Sec. V-A): outputs are
+    stationary on chip across the K loop, spikes stream once, and each
+    weight tile reloads once per M tile. Double buffering lets DRAM
+    streaming overlap compute; the effective per-layer latency is
+    ``max(compute, memory)`` plus the first-tile fill.
+    """
+
+    config: ProsperityConfig
+    spike: Buffer = field(init=False)
+    weight: Buffer = field(init=False)
+    output: Buffer = field(init=False)
+
+    def __post_init__(self) -> None:
+        buffers = self.config.buffers
+        self.spike = Buffer("spike", buffers.spike_bytes)
+        self.weight = Buffer("weight", buffers.weight_bytes)
+        self.output = Buffer("output", buffers.output_bytes)
+
+    def validate_tiles(self) -> None:
+        """Check Table III tile sizes fit the configured buffers."""
+        cfg = self.config
+        # Double-buffered spike tile: 2 * m * k bits.
+        self.spike.check_fits(2 * cfg.tile_m * cfg.tile_k // 8)
+        # Double-buffered weight tile: 2 * k * n bytes (8-bit weights).
+        self.weight.check_fits(2 * cfg.tile_k * cfg.tile_n * cfg.weight_bits // 8)
+        # Output tile: m * n partial sums at 24 bits.
+        self.output.check_fits(cfg.tile_m * cfg.tile_n * 3)
+
+    def workload_traffic(self, m: int, k: int, n: int) -> TrafficSummary:
+        """DRAM traffic for an ``(M, K) x (K, N)`` spiking GeMM."""
+        cfg = self.config
+        m_tiles = -(-m // cfg.tile_m)
+        spike_bytes = m * k / 8.0                 # binary spikes stream once
+        weight_bytes = float(m_tiles) * k * n * cfg.weight_bits / 8.0
+        output_bytes = m * n / 8.0                 # next layer's binary spikes
+        return TrafficSummary(spike_bytes, weight_bytes, output_bytes)
+
+    def dram_cycles(self, traffic: TrafficSummary) -> float:
+        """Cycles to stream the traffic at full DRAM bandwidth."""
+        per_cycle = self.config.dram.bytes_per_cycle(self.config.frequency_hz)
+        return traffic.total / per_cycle

@@ -1,0 +1,36 @@
+"""Spiking Neuron Array: 32 LIF cells post-processing GeMM outputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.config import ProsperityConfig
+from repro.snn.neurons import LIFNeuron
+
+
+@dataclass
+class NeuronArray:
+    """Converts accumulated currents into next-layer spikes.
+
+    The array streams the output matrix through ``cells`` parallel LIF
+    units; one membrane update per cell per cycle. This work overlaps the
+    Processor's accumulation of subsequent rows in steady state, so only
+    its excess over the compute phase appears on the critical path.
+    """
+
+    config: ProsperityConfig
+
+    @property
+    def cells(self) -> int:
+        return self.config.neuron_array_cells
+
+    def cycles(self, outputs: int) -> float:
+        """Cycles to update ``outputs`` neurons (M x N values per step)."""
+        return outputs / self.cells
+
+    def fire(self, currents: np.ndarray, threshold: float = 1.0, tau: float = 2.0) -> np.ndarray:
+        """Functional reference: run the LIF dynamics on output currents."""
+        neuron = LIFNeuron(tau=tau, v_threshold=threshold)
+        return neuron.forward(currents)

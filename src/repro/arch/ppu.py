@@ -1,0 +1,184 @@
+"""ProSparsity Processing Unit: functional model + per-tile cycle model.
+
+Two layers of fidelity live here:
+
+* :class:`PPU` wires the actual unit models (TCAM, Pruner, sorter, address
+  decoder, PE accumulation) into a working tile datapath — slow, but
+  bit-exact; tests cross-validate it against :mod:`repro.core`.
+* :func:`tile_cycles` is the analytic per-tile cycle model the end-to-end
+  simulator uses, evaluated vectorized over tile records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.config import ProsperityConfig
+from repro.arch.decoder import AddressDecoder
+from repro.arch.pruner_unit import Pruner
+from repro.arch.sorter import BitonicSorter
+from repro.arch.tcam import TCAM
+from repro.core.forest import NO_PREFIX
+from repro.core.prosparsity import TILE_RECORD_FIELDS
+from repro.utils.bitops import popcount_rows, pack_rows
+from repro.utils.validation import ensure_binary_matrix
+
+# Execution modes (Fig. 9 ablation ladder).
+MODE_DENSE = "dense"
+MODE_BIT = "bit_unstructured"
+MODE_PROSPARSITY_SLOW = "prosparsity_slow_dispatch"
+MODE_PROSPERITY = "prosperity"
+MODES = (MODE_DENSE, MODE_BIT, MODE_PROSPARSITY_SLOW, MODE_PROSPERITY)
+
+# The tree-walk Dispatcher (Sec. V-D "Search Time Issue") performs one
+# table lookup per visited row through a banked product sparsity table
+# servicing this many lookups per cycle. Because the execution order is
+# unknown until the walk completes, none of it hides behind compute —
+# reproducing the paper's ~1.49x gap between slow and overhead-free
+# dispatch (Fig. 9).
+SLOW_DISPATCH_LOOKUPS_PER_CYCLE = 1.5
+
+_FIELD = {name: i for i, name in enumerate(TILE_RECORD_FIELDS)}
+
+
+class PPU:
+    """Functional ProSparsity Processing Unit over one tile."""
+
+    def __init__(self, config: ProsperityConfig):
+        self.config = config
+        self.tcam = TCAM(config.tile_m, config.tile_k)
+        self.pruner = Pruner(config.tile_m)
+        self.sorter = BitonicSorter(max(config.tile_m, 2))
+        self.decoder = AddressDecoder(weight_row_bytes=config.tile_n)
+
+    def process_tile(self, tile_bits: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Run Detector -> Pruner -> Dispatcher -> Processor end to end.
+
+        Returns the ``(m, n)`` output tile. Bit-exact with the dense GeMM;
+        the unit models below are exercised exactly as the hardware would.
+        """
+        tile_bits = ensure_binary_matrix(tile_bits, "tile")
+        weights = np.asarray(weights, dtype=np.float64)
+        m, k = tile_bits.shape
+        if weights.shape[0] != k:
+            raise ValueError("weight rows must match tile columns")
+
+        # Detector: pre-load (Step 0), then one subset search per row.
+        self.tcam.load(tile_bits)
+        popcounts = popcount_rows(pack_rows(tile_bits))
+        outputs = []
+        for row in range(m):
+            subset_indices = self.tcam.search_subsets(tile_bits[row])
+            outputs.append(
+                self.pruner.prune(row, tile_bits, subset_indices, popcounts)
+            )
+
+        # Dispatcher: stable popcount order via the bitonic network.
+        order = self.sorter.sort(popcounts)
+
+        # Processor: prefix-seeded accumulation in dispatch order.
+        n = weights.shape[1]
+        result = np.zeros((m, n), dtype=np.float64)
+        for row in order:
+            meta = outputs[int(row)]
+            acc = result[meta.prefix].copy() if meta.prefix != NO_PREFIX else np.zeros(n)
+            for address in self.decoder.decode_row(meta.pattern):
+                acc += weights[address // self.config.tile_n]
+            result[int(row)] = acc
+        return result
+
+
+@dataclass(frozen=True)
+class TilePhaseCycles:
+    """Cycle counts for one tile's two pipeline phases."""
+
+    prosparsity: float
+    compute: float
+    dispatch_overhead: float = 0.0
+
+
+def prosparsity_phase_cycles(config: ProsperityConfig, m: np.ndarray) -> np.ndarray:
+    """Detector/Pruner/Dispatcher phase: m + pipeline depth (Sec. VI-A).
+
+    The bitonic sort runs concurrently and is shorter than m for every
+    legal tile, so the phase is bounded by the row pipeline.
+    """
+    sorter = BitonicSorter(max(config.tile_m, 2))
+    depth = config.prosparsity_pipeline_depth
+    return np.maximum(m + depth, sorter.stages(config.tile_m))
+
+
+def compute_phase_cycles(
+    config: ProsperityConfig,
+    records: np.ndarray,
+    n: int,
+    mode: str = MODE_PROSPERITY,
+) -> np.ndarray:
+    """Processor phase per tile, already multiplied by the N-tile loop.
+
+    Per row the Processor spends ``max(1, residual_ops)`` cycles; the
+    whole (m, k) tile repeats for each n-tile (the meta information is
+    reused across the N loop).
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
+    m = records[:, _FIELD["m"]]
+    k = records[:, _FIELD["k"]]
+    if mode == MODE_DENSE:
+        work = m * k
+    elif mode == MODE_BIT:
+        work = records[:, _FIELD["bit_nnz"]] + records[:, _FIELD["zero_bit_rows"]]
+    else:  # both ProSparsity modes share the compute phase
+        work = (
+            records[:, _FIELD["product_nnz"]]
+            + records[:, _FIELD["zero_residual_rows"]]
+        )
+    n_tiles = -(-n // config.tile_n)
+    return (work + config.processor_pipeline_depth) * n_tiles
+
+
+def dispatch_overhead_cycles(records: np.ndarray) -> np.ndarray:
+    """Exposed cycles of the tree-walk Dispatcher (slow-dispatch ablation).
+
+    Without suffix links the Dispatcher must BFS the forest through the
+    product sparsity table before any row can issue: m lookups per tile,
+    serialized ahead of compute and impossible to hide behind the
+    previous tile (the issue order is unknown until the walk finishes).
+    """
+    m = records[:, _FIELD["m"]]
+    return m / SLOW_DISPATCH_LOOKUPS_PER_CYCLE
+
+
+def pipeline_tile_cycles(
+    config: ProsperityConfig,
+    records: np.ndarray,
+    n: int,
+    mode: str = MODE_PROSPERITY,
+) -> tuple[float, float, float]:
+    """Total (cycles, compute_cycles, overhead_cycles) over a tile stream.
+
+    Implements the inter-phase pipeline of Fig. 6: tile i's ProSparsity
+    phase overlaps tile i-1's compute phase, so only the first tile's
+    phase and any excess (phase longer than the previous compute) is
+    exposed. In bit/dense modes the PPU front end is bypassed entirely.
+    """
+    if len(records) == 0:
+        return 0.0, 0.0, 0.0
+    compute = compute_phase_cycles(config, records, n, mode).astype(np.float64)
+    if mode in (MODE_DENSE, MODE_BIT):
+        return float(compute.sum()), float(compute.sum()), 0.0
+
+    prosparsity = prosparsity_phase_cycles(
+        config, records[:, _FIELD["m"]]
+    ).astype(np.float64)
+
+    # Exposed overhead: the first tile's full phase plus any part of later
+    # phases that outlasts the preceding tile's compute.
+    exposed = prosparsity[0] + np.maximum(prosparsity[1:] - compute[:-1], 0.0).sum()
+    if mode == MODE_PROSPARSITY_SLOW:
+        # The serialized tree walk is exposed on every tile.
+        exposed += float(dispatch_overhead_cycles(records).sum())
+    total = float(compute.sum() + exposed)
+    return total, float(compute.sum()), float(exposed)

@@ -1,0 +1,65 @@
+"""Pruner datapath model (Sec. V-C, Fig. 5b).
+
+Per query row and per cycle: (1) the proper-subset filter drops EM
+candidates with larger indices, (2) an argmax over (popcount, index)
+selects the single prefix, (3) a bit-wise XOR produces the ProSparsity
+pattern. One row per cycle, fully pipelined with the Detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.forest import NO_PREFIX
+
+
+@dataclass
+class PrunerOutput:
+    """Spatial meta information for one query row."""
+
+    row: int
+    prefix: int
+    pattern: np.ndarray
+
+
+class Pruner:
+    """Selects one prefix per row from the Detector's subset indices."""
+
+    def __init__(self, channels: int):
+        if channels <= 0:
+            raise ValueError("channels must be positive")
+        self.channels = channels
+        self.comparisons = 0  # energy counter
+
+    def prune(
+        self,
+        row: int,
+        tile_bits: np.ndarray,
+        subset_indices: np.ndarray,
+        popcounts: np.ndarray,
+    ) -> PrunerOutput:
+        """Apply the filter + argmax + XOR pipeline for one query row."""
+        tile_bits = np.asarray(tile_bits, dtype=bool)
+        row_bits = tile_bits[row]
+        candidates = [int(j) for j in subset_indices if j != row]
+        # Proper-subset filter: an EM candidate (equal popcount) with a
+        # larger index is a temporal violation under the stable popcount
+        # sort, so it is removed before the argmax.
+        query_count = int(popcounts[row])
+        legal = [
+            j
+            for j in candidates
+            if popcounts[j] > 0 and not (popcounts[j] == query_count and j > row)
+        ]
+        self.comparisons += len(candidates) + max(len(legal) - 1, 0)
+        if not legal:
+            return PrunerOutput(row=row, prefix=NO_PREFIX, pattern=row_bits.copy())
+        best = max(legal, key=lambda j: (int(popcounts[j]), j))
+        # Prefix is a subset of the query row, so XOR == set difference.
+        return PrunerOutput(row=row, prefix=best, pattern=row_bits ^ tile_bits[best])
+
+    def cycles(self, num_rows: int) -> int:
+        """One row per cycle (pipelined)."""
+        return num_rows

@@ -1,0 +1,106 @@
+"""Common result containers shared by Prosperity and all baseline models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LayerResult:
+    """Simulation outcome for one spiking-GeMM workload."""
+
+    name: str
+    cycles: float
+    compute_cycles: float = 0.0
+    memory_cycles: float = 0.0
+    overhead_cycles: float = 0.0
+    dense_macs: int = 0
+    processed_ops: int = 0
+    dram_bytes: float = 0.0
+    energy_pj: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(self.energy_pj.values())
+
+
+@dataclass
+class SimReport:
+    """End-to-end simulation result over one model trace."""
+
+    accelerator: str
+    model: str
+    dataset: str
+    frequency_hz: float
+    layers: list[LayerResult] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> float:
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.frequency_hz
+
+    @property
+    def total_dense_macs(self) -> int:
+        return sum(layer.dense_macs for layer in self.layers)
+
+    @property
+    def energy_pj(self) -> float:
+        return sum(layer.total_energy_pj for layer in self.layers)
+
+    @property
+    def energy_j(self) -> float:
+        return self.energy_pj * 1e-12
+
+    @property
+    def energy_breakdown_pj(self) -> dict[str, float]:
+        total: dict[str, float] = {}
+        for layer in self.layers:
+            for key, value in layer.energy_pj.items():
+                total[key] = total.get(key, 0.0) + value
+        return total
+
+    @property
+    def avg_power_w(self) -> float:
+        seconds = self.seconds
+        return self.energy_j / seconds if seconds > 0 else 0.0
+
+    def throughput_gops(self, op_per_mac: int = 2) -> float:
+        """Effective throughput in dense-equivalent GOP/s (Table IV metric)."""
+        seconds = self.seconds
+        if seconds <= 0:
+            return 0.0
+        return self.total_dense_macs * op_per_mac / seconds / 1e9
+
+    def energy_efficiency_gops_per_j(self, op_per_mac: int = 2) -> float:
+        """Dense-equivalent GOP per joule (Table IV energy efficiency)."""
+        energy = self.energy_j
+        if energy <= 0:
+            return 0.0
+        return self.total_dense_macs * op_per_mac / energy / 1e9
+
+
+def speedup(baseline: SimReport, target: SimReport) -> float:
+    """Wall-clock speedup of ``target`` relative to ``baseline``."""
+    if target.seconds <= 0:
+        return float("inf")
+    return baseline.seconds / target.seconds
+
+
+def energy_efficiency_gain(baseline: SimReport, target: SimReport) -> float:
+    """Energy-efficiency gain of ``target`` relative to ``baseline``."""
+    if target.energy_j <= 0:
+        return float("inf")
+    return baseline.energy_j / target.energy_j
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean used for the Fig. 8 summary columns."""
+    import numpy as np
+
+    array = np.asarray([v for v in values if v > 0], dtype=np.float64)
+    if array.size == 0:
+        return 0.0
+    return float(np.exp(np.log(array).mean()))

@@ -1,0 +1,42 @@
+"""Special Function Unit: exp/mul/div support for spiking transformers.
+
+Prosperity reuses the PPU for the GeMM-like parts of spiking attention
+and dispatches softmax / LayerNorm scalar work (exponentiation, division,
+multiplication) to the SFU (Sec. IV "Support for Transformers"). The SFU
+here is a throughput model plus functional reference implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.config import ProsperityConfig
+from repro.snn.functional import layer_norm, softmax
+
+
+@dataclass
+class SFU:
+    """Throughput model for the SFU's multiplier/exponent/divider banks."""
+
+    config: ProsperityConfig
+
+    def softmax_cycles(self, rows: int, cols: int) -> float:
+        """exp per element (8 EXP units), then a divide per element."""
+        exps = rows * cols / self.config.sfu_exp_units
+        divides = rows * cols  # single divider, pipelined 1/cycle
+        return exps + divides
+
+    def layer_norm_cycles(self, rows: int, cols: int) -> float:
+        """mean/var accumulate + scale multiply through the MUL bank."""
+        multiplies = 2 * rows * cols / self.config.sfu_mul_units
+        return multiplies
+
+    @staticmethod
+    def softmax_reference(values: np.ndarray) -> np.ndarray:
+        return softmax(values)
+
+    @staticmethod
+    def layer_norm_reference(values: np.ndarray) -> np.ndarray:
+        return layer_norm(values)

@@ -1,0 +1,70 @@
+"""Bitonic stable sorter model — the Dispatcher's temporal-order engine.
+
+The Dispatcher sorts row indices by popcount; stability is obtained by
+sorting composite keys ``(popcount, index)``, which is exactly how a
+hardware bitonic network achieves a stable order with ties. Latency is
+the classic ``log2(m) * (log2(m) + 1) / 2`` compare-exchange stages.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+
+import numpy as np
+
+
+class BitonicSorter:
+    """Parallel bitonic sorting network over up to ``capacity`` keys."""
+
+    def __init__(self, capacity: int):
+        if capacity < 2:
+            raise ValueError("capacity must be at least 2")
+        self.capacity = capacity
+
+    def stages(self, count: int | None = None) -> int:
+        """Compare-exchange stages (cycles) to sort ``count`` keys."""
+        count = self.capacity if count is None else count
+        if count <= 1:
+            return 0
+        bits = ceil(log2(count))
+        return bits * (bits + 1) // 2
+
+    def comparisons(self, count: int | None = None) -> int:
+        """Total comparator activations (energy model input)."""
+        count = self.capacity if count is None else count
+        if count <= 1:
+            return 0
+        padded = 2 ** ceil(log2(count))
+        return (padded // 2) * self.stages(padded)
+
+    def sort(self, keys: np.ndarray) -> np.ndarray:
+        """Run the actual bitonic network; returns a stable argsort.
+
+        Executed in software on composite keys ``key * capacity + index``
+        — functionally identical to the hardware and checked in tests
+        against ``np.argsort(kind="stable")``.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        count = keys.shape[0]
+        padded = 2 ** ceil(log2(max(count, 2)))
+        big = np.iinfo(np.int64).max // 2
+        composite = np.full(padded, big, dtype=np.int64)
+        scale = padded  # index fits below this multiplier
+        composite[:count] = keys * scale + np.arange(count)
+
+        size = 2
+        while size <= padded:
+            stride = size // 2
+            while stride >= 1:
+                for i in range(padded):
+                    partner = i ^ stride
+                    if partner > i:
+                        ascending = (i & size) == 0
+                        a, b = composite[i], composite[partner]
+                        if (a > b) == ascending:
+                            composite[i], composite[partner] = b, a
+                stride //= 2
+            size *= 2
+
+        order = composite[composite < big] % scale
+        return order.astype(np.int64)

@@ -1,0 +1,63 @@
+"""Ternary CAM model — the Detector's parallel subset search (Sec. V-B).
+
+A TCAM entry stores one spike row; a query masks the row's 1-bits to
+"don't care" (X) and matches the 0-bits exactly. An entry matches iff it
+has no spike where the query has none — i.e. the entry is a *subset* of
+the query row. Every query completes in one clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_binary_matrix
+
+
+class TCAM:
+    """Double-buffered ternary CAM with ``entries`` rows of ``width`` bits."""
+
+    def __init__(self, entries: int, width: int):
+        if entries <= 0 or width <= 0:
+            raise ValueError("entries and width must be positive")
+        self.entries = entries
+        self.width = width
+        self._store: np.ndarray | None = None
+        self.searches = 0  # activity counter for the energy model
+
+    def load(self, tile_bits: np.ndarray) -> None:
+        """Pre-load a spike tile (Step 0); shorter tiles occupy a prefix."""
+        bits = ensure_binary_matrix(tile_bits, "TCAM tile")
+        if bits.shape[0] > self.entries or bits.shape[1] > self.width:
+            raise ValueError(
+                f"tile {bits.shape} exceeds TCAM capacity "
+                f"({self.entries} x {self.width})"
+            )
+        self._store = bits
+
+    def search_subsets(self, query_row: np.ndarray) -> np.ndarray:
+        """All entry indices whose stored row is a subset of ``query_row``.
+
+        Hardware: mask(query)'s 1-positions become X; a stored row matches
+        when all its 1s land on X positions. One cycle per query.
+        """
+        if self._store is None:
+            raise RuntimeError("TCAM not loaded")
+        query = np.asarray(query_row, dtype=bool)
+        if query.shape[0] != self._store.shape[1]:
+            raise ValueError("query width does not match loaded tile")
+        self.searches += 1
+        # entry & ~query == 0  <=>  entry ⊆ query
+        violations = self._store & ~query[None, :]
+        return np.flatnonzero(~violations.any(axis=1))
+
+    def search_cycles(self, num_queries: int) -> int:
+        """One cycle per query row."""
+        return num_queries
+
+    def bit_operations(self, num_queries: int) -> int:
+        """Bitwise match operations: every cell participates per search.
+
+        This is the m^2 x k term of the paper's Sec. VII-G cost analysis.
+        """
+        rows = self._store.shape[0] if self._store is not None else self.entries
+        return num_queries * rows * self.width

@@ -1,0 +1,44 @@
+"""Baseline accelerator models the paper compares against."""
+
+from repro.baselines.base import AcceleratorModel
+from repro.baselines.eyeriss import EyerissModel
+from repro.baselines.gpu import A100Model
+from repro.baselines.loas import (
+    LOAS_WEIGHT_DENSITY,
+    LoASModel,
+    activation_density_with_prosparsity,
+    dual_sparse_ops,
+    pruned_weight_mask,
+)
+from repro.baselines.mint import MINTModel
+from repro.baselines.ptb import PTBModel, windowed_density
+from repro.baselines.sato import SATOModel
+from repro.baselines.stellar import StellarModel, fs_density
+
+BASELINES = {
+    "eyeriss": EyerissModel,
+    "ptb": PTBModel,
+    "sato": SATOModel,
+    "mint": MINTModel,
+    "stellar": StellarModel,
+    "loas": LoASModel,
+    "a100": A100Model,
+}
+
+__all__ = [
+    "AcceleratorModel",
+    "EyerissModel",
+    "A100Model",
+    "LOAS_WEIGHT_DENSITY",
+    "LoASModel",
+    "activation_density_with_prosparsity",
+    "dual_sparse_ops",
+    "pruned_weight_mask",
+    "MINTModel",
+    "PTBModel",
+    "windowed_density",
+    "SATOModel",
+    "StellarModel",
+    "fs_density",
+    "BASELINES",
+]

@@ -1,0 +1,55 @@
+"""Common interface for baseline accelerator models.
+
+Every baseline consumes the same :class:`~repro.snn.trace.ModelTrace` the
+Prosperity simulator does and emits the same :class:`SimReport`, so the
+comparison tables (Table IV, Fig. 8) are generated uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.report import LayerResult, SimReport
+from repro.snn.trace import GeMMWorkload, ModelTrace
+
+
+class AcceleratorModel:
+    """Base class: subclasses implement :meth:`simulate_workload`."""
+
+    name = "accelerator"
+    frequency_hz = 500e6
+    area_mm2 = 0.0
+    #: Whether the design can execute the dynamic GeMMs of spiking
+    #: attention (prior SNN ASICs cannot — Sec. VII-A).
+    supports_attention = False
+
+    def simulate_workload(self, workload: GeMMWorkload) -> LayerResult:
+        raise NotImplementedError
+
+    def prepare_trace(self, trace: ModelTrace) -> ModelTrace:
+        """Drop workloads this accelerator cannot run (attention GeMMs)."""
+        if self.supports_attention:
+            return trace
+        return trace.linear_only()
+
+    def simulate(self, trace: ModelTrace) -> SimReport:
+        trace = self.prepare_trace(trace)
+        report = SimReport(
+            accelerator=self.name,
+            model=trace.model,
+            dataset=trace.dataset,
+            frequency_hz=self.frequency_hz,
+        )
+        for workload in trace.workloads:
+            report.layers.append(self.simulate_workload(workload))
+        return report
+
+
+def row_popcounts(workload: GeMMWorkload) -> np.ndarray:
+    """Spikes per row of the workload's activation matrix."""
+    return workload.spikes.bits.sum(axis=1).astype(np.int64)
+
+
+def dram_cycles(bytes_moved: float, bandwidth_bytes_per_s: float, frequency_hz: float) -> float:
+    """Cycles to stream ``bytes_moved`` at the given DRAM bandwidth."""
+    return bytes_moved / (bandwidth_bytes_per_s / frequency_hz)

@@ -1,0 +1,68 @@
+"""Eyeriss baseline: dense row-stationary DNN accelerator (Chen et al.).
+
+Eyeriss processes the spiking GeMM densely — every (row, column, k)
+product is computed regardless of spike values — making it the
+normalization baseline of Table IV and Fig. 8. 168 PEs, 8-bit MACs,
+row-stationary dataflow whose mapping efficiency on these layer shapes is
+the dominant utilization loss.
+"""
+
+from __future__ import annotations
+
+from repro.arch.report import LayerResult
+from repro.baselines.base import AcceleratorModel, dram_cycles
+from repro.snn.trace import GeMMWorkload
+
+# Energy constants (pJ, 28 nm, system-level per event).
+E_MAC = 6.9                 # 8-bit MAC, system-level (incl. control/clock)
+E_BUFFER_PER_MAC = 8.3      # ifmap/weight/psum register + SRAM movement
+E_DRAM_BYTE = 20.0
+STATIC_POWER_MW = 30.0
+
+
+class EyerissModel(AcceleratorModel):
+    """Dense baseline with row-stationary mapping efficiency."""
+
+    name = "eyeriss"
+    area_mm2 = 1.068
+    supports_attention = False
+
+    def __init__(
+        self,
+        num_pes: int = 168,
+        frequency_hz: float = 500e6,
+        mapping_efficiency: float = 0.20,
+        dram_bandwidth: float = 64e9,
+    ):
+        self.num_pes = num_pes
+        self.frequency_hz = frequency_hz
+        self.mapping_efficiency = mapping_efficiency
+        self.dram_bandwidth = dram_bandwidth
+
+    def simulate_workload(self, workload: GeMMWorkload) -> LayerResult:
+        macs = workload.dense_macs
+        compute = macs / (self.num_pes * self.mapping_efficiency)
+        # Dense processing treats activations as 8-bit words.
+        traffic = (
+            workload.m * workload.k          # activations
+            + workload.k * workload.n        # weights (fit reuse on chip)
+            + workload.m * workload.n        # outputs
+        )
+        memory = dram_cycles(traffic, self.dram_bandwidth, self.frequency_hz)
+        cycles = max(compute, memory)
+        energy = {
+            "compute": macs * E_MAC,
+            "buffers": macs * E_BUFFER_PER_MAC,
+            "dram": traffic * E_DRAM_BYTE,
+            "static": STATIC_POWER_MW * 1e-3 * cycles / self.frequency_hz * 1e12,
+        }
+        return LayerResult(
+            name=workload.name,
+            cycles=cycles,
+            compute_cycles=compute,
+            memory_cycles=memory,
+            dense_macs=macs,
+            processed_ops=macs,
+            dram_bytes=traffic,
+            energy_pj=energy,
+        )

@@ -1,0 +1,103 @@
+"""Stellar baseline (Mao et al., HPCA 2024): FS-neuron co-design.
+
+Stellar swaps LIF for few-spikes (FS) neurons, which emit at most two
+spikes over a longer encoding window — an *algorithmic* sparsity gain
+that modifies the model (unlike lossless ProSparsity). Since Stellar's
+trained FS patterns are closed-source, the density is derived here by
+FS-re-encoding the traced LIF activity (the paper itself falls back to
+Stellar's reported statistics; our re-encoding reproduces those ratios).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.report import LayerResult
+from repro.baselines.base import AcceleratorModel, dram_cycles
+from repro.snn.trace import GeMMWorkload
+
+E_ADD_12BIT = 2.75
+E_BUFFER_PER_ADD = 3.7
+E_DRAM_BYTE = 20.0
+STATIC_POWER_MW = 80.0
+
+FS_WINDOW_BITS = 8      # FS encoding window length
+FS_MAX_SPIKES = 2       # Stöckl & Maass: two spikes suffice for high accuracy
+
+
+def fs_density(workload: GeMMWorkload) -> float:
+    """Density after re-encoding per-neuron activity with FS neurons.
+
+    Each (position, feature) site's spike count over the T LIF steps is a
+    proxy for its analog activation; FS transmits its binary expansion
+    over an ``FS_WINDOW_BITS``-slot window, truncated to the
+    ``FS_MAX_SPIKES`` most significant spikes.
+    """
+    bits = workload.spikes.bits
+    t = max(workload.time_steps, 1)
+    if t <= 1 or bits.shape[0] % t:
+        counts = bits.sum(axis=0, keepdims=True).astype(np.float64)
+        t_eff = bits.shape[0]
+    else:
+        positions = bits.shape[0] // t
+        counts = bits.reshape(t, positions, bits.shape[1]).sum(axis=0).astype(np.float64)
+        t_eff = t
+    value = counts / t_eff                            # activation proxy in [0, 1]
+    code = np.rint(value * (2**FS_WINDOW_BITS - 1)).astype(np.int64)
+    popcounts = np.zeros_like(code)
+    for bit in range(FS_WINDOW_BITS):
+        popcounts += (code >> bit) & 1
+    spikes = np.minimum(popcounts, FS_MAX_SPIKES)
+    return float(spikes.sum() / (code.size * FS_WINDOW_BITS))
+
+
+class StellarModel(AcceleratorModel):
+    """Systolic FS-neuron accelerator (168 PEs, 12-bit adders)."""
+
+    name = "stellar"
+    area_mm2 = 0.768
+    supports_attention = False
+
+    def __init__(
+        self,
+        num_pes: int = 168,
+        frequency_hz: float = 500e6,
+        systolic_efficiency: float = 0.19,
+        dram_bandwidth: float = 64e9,
+    ):
+        # Calibrated to Stellar's published ~6.5x over Eyeriss (Table IV)
+        # given the FS densities our re-encoding produces.
+        self.num_pes = num_pes
+        self.frequency_hz = frequency_hz
+        self.systolic_efficiency = systolic_efficiency
+        self.dram_bandwidth = dram_bandwidth
+
+    def simulate_workload(self, workload: GeMMWorkload) -> LayerResult:
+        density = fs_density(workload)
+        positions = workload.m / max(workload.time_steps, 1)
+        fs_elements = positions * workload.k * FS_WINDOW_BITS
+        adds = density * fs_elements * workload.n
+        compute = adds / (self.num_pes * self.systolic_efficiency)
+        traffic = (
+            fs_elements / 8.0
+            + workload.k * workload.n * 12 / 8.0      # 12-bit weights
+            + workload.m * workload.n / 8.0
+        )
+        memory = dram_cycles(traffic, self.dram_bandwidth, self.frequency_hz)
+        cycles = max(compute, memory)
+        energy = {
+            "compute": adds * E_ADD_12BIT,
+            "buffers": adds * E_BUFFER_PER_ADD,
+            "dram": traffic * E_DRAM_BYTE,
+            "static": STATIC_POWER_MW * 1e-3 * cycles / self.frequency_hz * 1e12,
+        }
+        return LayerResult(
+            name=workload.name,
+            cycles=cycles,
+            compute_cycles=compute,
+            memory_cycles=memory,
+            dense_macs=workload.dense_macs,
+            processed_ops=int(adds),
+            dram_bytes=traffic,
+            energy_pj=energy,
+        )

@@ -1,0 +1,167 @@
+"""Command-line interface: run the paper's experiments from the shell.
+
+Examples
+--------
+::
+
+    python -m repro.cli density  --model vgg16 --dataset cifar100
+    python -m repro.cli simulate --model resnet18 --dataset cifar10
+    python -m repro.cli sweep    --model vgg16 --dataset cifar100
+    python -m repro.cli tradeoff --sparsity-increase 0.1335
+    python -m repro.cli scaling  --model vgg16 --dataset cifar10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.density import density_report
+from repro.analysis.report import format_percent, format_ratio, format_table
+from repro.analysis.sweep import sweep_tile_sizes
+from repro.analysis.tradeoff import breakeven_sparsity_increase, evaluate_tradeoff
+from repro.arch.scaling import scaling_study
+from repro.arch.simulator import ProsperitySimulator
+from repro.baselines import BASELINES
+from repro.workloads import get_trace
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="vgg16", help="model name (see repro.snn.models)")
+    parser.add_argument("--dataset", default="cifar10", help="dataset name")
+    parser.add_argument("--preset", default="small", choices=("small", "paper"))
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--max-tiles", type=int, default=24,
+                        help="tile sample cap per workload (0 = exact)")
+
+
+def _max_tiles(args: argparse.Namespace) -> int | None:
+    return None if args.max_tiles == 0 else args.max_tiles
+
+
+def cmd_density(args: argparse.Namespace) -> str:
+    trace = get_trace(args.model, args.dataset, args.preset, args.seed)
+    report = density_report(
+        trace, max_tiles=_max_tiles(args), rng=np.random.default_rng(args.seed)
+    )
+    rows = [
+        ["bit (PTB/SATO)", format_percent(report.bit_density)],
+        ["structured bit", format_percent(report.structured_density)],
+        ["FS neuron (Stellar)", format_percent(report.fs_density)],
+        ["product (Prosperity)", format_percent(report.product_density)],
+        ["reduction vs bit", format_ratio(report.reduction_vs_bit)],
+    ]
+    return format_table(
+        ["sparsity paradigm", "density"], rows,
+        title=f"density — {args.model}/{args.dataset} ({args.preset})",
+    )
+
+
+def cmd_simulate(args: argparse.Namespace) -> str:
+    trace = get_trace(args.model, args.dataset, args.preset, args.seed)
+    rng = np.random.default_rng(args.seed)
+    reports = {}
+    for name in ("eyeriss", "ptb", "sato", "mint", "stellar", "a100"):
+        reports[name] = BASELINES[name]().simulate(trace)
+    reports["prosperity"] = ProsperitySimulator(
+        max_tiles_per_workload=_max_tiles(args), rng=rng
+    ).simulate(trace)
+    base = reports["eyeriss"]
+    rows = [
+        [
+            name,
+            f"{report.seconds * 1e6:.1f}",
+            format_ratio(base.seconds / report.seconds),
+            f"{report.energy_j * 1e3:.3f}",
+            format_ratio(base.energy_j / report.energy_j),
+        ]
+        for name, report in reports.items()
+    ]
+    return format_table(
+        ["accelerator", "latency us", "speedup", "energy mJ", "EE gain"],
+        rows,
+        title=f"simulation — {args.model}/{args.dataset} ({args.preset})",
+    )
+
+
+def cmd_sweep(args: argparse.Namespace) -> str:
+    trace = get_trace(args.model, args.dataset, args.preset, args.seed)
+    m_sweep, k_sweep = sweep_tile_sizes(
+        [trace],
+        m_values=(64, 128, 256, 512),
+        k_values=(8, 16, 32),
+        max_tiles=max(args.max_tiles, 4),
+        rng=np.random.default_rng(args.seed),
+    )
+    rows = [
+        [p.tile_m, p.tile_k, format_percent(p.product_density),
+         f"{p.latency_vs_bit:.3f}", f"{p.area_mm2:.3f}"]
+        for p in (*m_sweep, *k_sweep)
+    ]
+    return format_table(
+        ["m", "k", "pro density", "latency vs bit", "area mm2"], rows,
+        title=f"tiling sweep — {args.model}/{args.dataset}",
+    )
+
+
+def cmd_tradeoff(args: argparse.Namespace) -> str:
+    result = evaluate_tradeoff(args.sparsity_increase)
+    rows = [
+        ["break-even dS", format_percent(breakeven_sparsity_increase())],
+        ["measured dS", format_percent(args.sparsity_increase)],
+        ["benefit/cost", format_ratio(result.benefit_cost_ratio)],
+        ["profitable", "yes" if result.profitable else "no"],
+    ]
+    return format_table(["quantity", "value"], rows, title="Sec. VII-G trade-off")
+
+
+def cmd_scaling(args: argparse.Namespace) -> str:
+    trace = get_trace(args.model, args.dataset, args.preset, args.seed)
+    points = scaling_study(
+        trace, max_tiles=_max_tiles(args), rng=np.random.default_rng(args.seed)
+    )
+    rows = [
+        [p.num_ppus, p.issue_width, format_ratio(p.speedup),
+         format_percent(p.efficiency)]
+        for p in points
+    ]
+    return format_table(
+        ["PPUs", "issue width", "speedup", "efficiency"], rows,
+        title=f"Sec. VIII-A scaling — {args.model}/{args.dataset}",
+    )
+
+
+COMMANDS = {
+    "density": cmd_density,
+    "simulate": cmd_simulate,
+    "sweep": cmd_sweep,
+    "tradeoff": cmd_tradeoff,
+    "scaling": cmd_scaling,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Prosperity (HPCA 2025) reproduction experiments",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name in ("density", "simulate", "sweep", "scaling"):
+        sub = subparsers.add_parser(name)
+        _add_workload_args(sub)
+    trade = subparsers.add_parser("tradeoff")
+    trade.add_argument("--sparsity-increase", type=float, default=0.1335)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    output = COMMANDS[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

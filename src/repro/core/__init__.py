@@ -1,0 +1,86 @@
+"""Product Sparsity core: the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.spike_matrix.SpikeMatrix` /
+  :class:`~repro.core.spike_matrix.SpikeTile` — binary activation
+  containers with tiling.
+* :func:`~repro.core.prosparsity.transform_matrix` — full
+  Detector/Pruner/Dispatcher transform with sparsity statistics.
+* :func:`~repro.core.prosparsity.execute_gemm` — lossless ProSparsity
+  spiking GeMM.
+* :func:`~repro.core.forest.build_forest` and friends for finer control.
+"""
+
+from repro.core.dispatch import (
+    DispatchPlan,
+    RowTask,
+    build_dispatch_plan,
+    stable_popcount_order,
+    tree_walk_order,
+)
+from repro.core.forest import (
+    NO_PREFIX,
+    ProSparsityForest,
+    TwoPrefixForest,
+    build_forest,
+    build_two_prefix_forest,
+    select_prefixes,
+)
+from repro.core.graph import ProSparsityGraph, build_graph
+from repro.core.prosparsity import (
+    DEFAULT_TILE_K,
+    DEFAULT_TILE_M,
+    ProSparsityResult,
+    ProSparsityStats,
+    TileTransform,
+    execute_gemm,
+    execute_tile,
+    transform_matrix,
+    transform_tile,
+)
+from repro.core.relations import (
+    Relation,
+    RelationSummary,
+    classify_pair,
+    summarize_relations,
+)
+from repro.core.spike_matrix import (
+    SpikeMatrix,
+    SpikeTile,
+    TileCoord,
+    random_spike_matrix,
+)
+
+__all__ = [
+    "DispatchPlan",
+    "RowTask",
+    "build_dispatch_plan",
+    "stable_popcount_order",
+    "tree_walk_order",
+    "NO_PREFIX",
+    "ProSparsityForest",
+    "TwoPrefixForest",
+    "build_forest",
+    "build_two_prefix_forest",
+    "select_prefixes",
+    "ProSparsityGraph",
+    "build_graph",
+    "DEFAULT_TILE_K",
+    "DEFAULT_TILE_M",
+    "ProSparsityResult",
+    "ProSparsityStats",
+    "TileTransform",
+    "execute_gemm",
+    "execute_tile",
+    "transform_matrix",
+    "transform_tile",
+    "Relation",
+    "RelationSummary",
+    "classify_pair",
+    "summarize_relations",
+    "SpikeMatrix",
+    "SpikeTile",
+    "TileCoord",
+    "random_spike_matrix",
+]

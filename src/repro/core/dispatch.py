@@ -1,0 +1,110 @@
+"""Temporal ordering and meta information (Sec. III-C/D, Sec. V-D).
+
+The Dispatcher must execute every prefix before its suffixes. The paper's
+key observation: a *stable* sort of rows by ascending popcount is a valid
+topological order of the forest, because
+
+* PM prefixes have strictly smaller popcount than their suffix, and
+* EM prefixes have equal popcount but a smaller index, which a stable sort
+  keeps earlier.
+
+This replaces an O(m·d) tree walk with an O(log^2 m) parallel bitonic sort
+and O(m) storage — the "overhead-free" dispatch of the ablation study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.forest import NO_PREFIX, ProSparsityForest
+
+
+@dataclass(frozen=True)
+class RowTask:
+    """One Processor instruction: compute output row ``row``.
+
+    Attributes
+    ----------
+    row:
+        Output/spike row index inside the tile.
+    prefix:
+        Row whose finished output seeds the partial sum, or ``NO_PREFIX``.
+    pattern_nnz:
+        Number of residual weight-row accumulations to perform.
+    """
+
+    row: int
+    prefix: int
+    pattern_nnz: int
+
+    @property
+    def is_exact_match(self) -> bool:
+        """EM reuse: no accumulation needed, result copied from prefix."""
+        return self.prefix != NO_PREFIX and self.pattern_nnz == 0
+
+
+@dataclass
+class DispatchPlan:
+    """Meta information for one tile (Fig. 3d).
+
+    ``order`` is the temporal information (execution order of row indices);
+    ``tasks`` aligns with ``order`` and carries the spatial information
+    (prefix index + residual pattern size) for each issued row.
+    """
+
+    order: np.ndarray
+    tasks: list[RowTask]
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def verify_topological(self, forest: ProSparsityForest) -> bool:
+        """Check every prefix executes strictly before its suffix."""
+        position = np.empty(len(self.order), dtype=np.int64)
+        position[self.order] = np.arange(len(self.order))
+        for row in range(forest.m):
+            pre = int(forest.prefix[row])
+            if pre != NO_PREFIX and position[pre] >= position[row]:
+                return False
+        return True
+
+
+def stable_popcount_order(popcounts: np.ndarray) -> np.ndarray:
+    """Temporal information: stable argsort by ascending popcount."""
+    return np.argsort(np.asarray(popcounts), kind="stable")
+
+
+def build_dispatch_plan(forest: ProSparsityForest) -> DispatchPlan:
+    """Assemble the per-tile execution plan from a pruned forest."""
+    order = stable_popcount_order(forest.popcounts)
+    residual = forest.residual_ops()
+    tasks = [
+        RowTask(
+            row=int(row),
+            prefix=int(forest.prefix[row]),
+            pattern_nnz=int(residual[row]),
+        )
+        for row in order
+    ]
+    return DispatchPlan(order=order, tasks=tasks)
+
+
+def tree_walk_order(forest: ProSparsityForest) -> np.ndarray:
+    """Baseline ordering via explicit BFS over the forest (Sec. V-D).
+
+    This is the "high-overhead" Dispatcher variant used in the Fig. 9
+    ablation: functionally identical schedule, but requires O(m·d) search
+    over the product sparsity table in hardware.
+    """
+    children = forest.children()
+    order: list[int] = []
+    queue = [int(root) for root in forest.roots()]
+    while queue:
+        node = queue.pop(0)
+        order.append(node)
+        queue.extend(children.get(node, ()))
+    if len(order) != forest.m:
+        raise RuntimeError("forest walk did not visit every row; cycle present")
+    return np.array(order, dtype=np.int64)

@@ -1,0 +1,225 @@
+"""Pruning the ProSparsity graph to a forest (Sec. III-D, Fig. 3c).
+
+The pruning rules keep exactly one prefix per row:
+
+1. among all legal prefixes keep those with the **largest** common
+   sub-combination (largest popcount — for a subset, its popcount *is* the
+   size of the common sub-combination);
+2. on ties keep the prefix with the **largest row index**.
+
+The result is a directed forest; every tree's root-to-leaf order is a valid
+reuse schedule. A two-prefix variant is provided for the Table II study: a
+second prefix must be disjoint from the first and a subset of the remaining
+pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.graph import ProSparsityGraph, build_graph
+from repro.core.spike_matrix import SpikeTile
+from repro.utils.bitops import popcount_rows
+
+NO_PREFIX = -1
+
+
+@dataclass
+class ProSparsityForest:
+    """One-prefix-per-row forest over a spike tile.
+
+    Attributes
+    ----------
+    tile:
+        Source tile.
+    prefix:
+        ``(m,)`` int array; ``prefix[i]`` is the prefix row of ``i`` or
+        :data:`NO_PREFIX` when row ``i`` is a root (computed from scratch).
+    pattern:
+        ``(m, k)`` bool array; the residual spikes row ``i`` must still
+        accumulate after reusing its prefix (``S_i − S_prefix`` == XOR,
+        because the prefix is a subset). Roots keep their full row.
+    popcounts:
+        Original per-row spike counts.
+    """
+
+    tile: SpikeTile
+    prefix: np.ndarray
+    pattern: np.ndarray
+    popcounts: np.ndarray = field(repr=False)
+
+    @property
+    def m(self) -> int:
+        return self.tile.m
+
+    @property
+    def k(self) -> int:
+        return self.tile.k
+
+    def roots(self) -> np.ndarray:
+        """Indices of rows with no prefix."""
+        return np.flatnonzero(self.prefix == NO_PREFIX)
+
+    def children(self) -> dict[int, list[int]]:
+        """Suffix lists per prefix row (forest adjacency, derived)."""
+        adjacency: dict[int, list[int]] = {}
+        for row, pre in enumerate(self.prefix):
+            if pre != NO_PREFIX:
+                adjacency.setdefault(int(pre), []).append(row)
+        return adjacency
+
+    def depth(self) -> int:
+        """Longest prefix chain length (number of edges) in the forest."""
+        memo = np.full(self.m, -1, dtype=np.int64)
+
+        def chain(row: int) -> int:
+            if memo[row] >= 0:
+                return int(memo[row])
+            pre = int(self.prefix[row])
+            value = 0 if pre == NO_PREFIX else chain(pre) + 1
+            memo[row] = value
+            return value
+
+        return max((chain(row) for row in range(self.m)), default=0)
+
+    def residual_ops(self) -> np.ndarray:
+        """Per-row accumulate count after ProSparsity (popcount of pattern)."""
+        return self.pattern.sum(axis=1).astype(np.int64)
+
+    def product_nnz(self) -> int:
+        """Total spikes processed after ProSparsity (Σ residual ops)."""
+        return int(self.pattern.sum())
+
+    def product_density(self) -> float:
+        """ProSparsity density of this tile (residual spikes / tile size)."""
+        if self.pattern.size == 0:
+            return 0.0
+        return self.product_nnz() / self.pattern.size
+
+    def exact_match_rows(self) -> np.ndarray:
+        """Rows whose entire computation is skipped (EM reuse)."""
+        has_prefix = self.prefix != NO_PREFIX
+        return np.flatnonzero(has_prefix & (self.residual_ops() == 0) & (self.popcounts > 0))
+
+    def verify_acyclic(self) -> bool:
+        """Follow every prefix chain; it must terminate within m hops."""
+        for row in range(self.m):
+            seen = 0
+            current = int(self.prefix[row])
+            while current != NO_PREFIX:
+                seen += 1
+                if seen > self.m:
+                    return False
+                current = int(self.prefix[current])
+        return True
+
+
+def select_prefixes(graph: ProSparsityGraph) -> np.ndarray:
+    """Apply the pruning rules: keep one prefix per row.
+
+    Vectorized argmax over the lexicographic key ``(popcount, index)``,
+    exactly the Pruner's (proper-subset filter -> Argmax) datapath.
+    """
+    m = graph.m
+    candidates = graph.prefix_candidates
+    popcounts = graph.popcounts
+    index = np.arange(m)
+    # Lexicographic score: popcount dominates, index breaks ties.
+    score = popcounts[None, :].astype(np.int64) * m + index[None, :]
+    score = np.where(candidates, score, -1)
+    best = score.argmax(axis=1)
+    has_prefix = score.max(axis=1) >= 0
+    return np.where(has_prefix, best, NO_PREFIX)
+
+
+def build_forest(tile: SpikeTile, graph: ProSparsityGraph | None = None) -> ProSparsityForest:
+    """Detect relations, prune to one prefix per row, compute patterns."""
+    if graph is None:
+        graph = build_graph(tile)
+    prefix = select_prefixes(graph)
+    pattern = tile.bits.copy()
+    reused = prefix != NO_PREFIX
+    if reused.any():
+        rows = np.flatnonzero(reused)
+        # Prefix is a subset, so XOR equals set difference S_i − S_prefix.
+        pattern[rows] = tile.bits[rows] ^ tile.bits[prefix[rows]]
+    return ProSparsityForest(
+        tile=tile,
+        prefix=prefix,
+        pattern=pattern,
+        popcounts=popcount_rows(tile.packed),
+    )
+
+
+@dataclass
+class TwoPrefixForest:
+    """Extension studied in Table II: up to two disjoint prefixes per row."""
+
+    tile: SpikeTile
+    prefix1: np.ndarray
+    prefix2: np.ndarray
+    pattern: np.ndarray
+
+    def product_nnz(self) -> int:
+        return int(self.pattern.sum())
+
+    def product_density(self) -> float:
+        if self.pattern.size == 0:
+            return 0.0
+        return self.product_nnz() / self.pattern.size
+
+    def prefix_ratio(self) -> tuple[float, float]:
+        """Fractions of rows using exactly one and exactly two prefixes."""
+        if len(self.prefix1) == 0:
+            return 0.0, 0.0
+        one = (self.prefix1 != NO_PREFIX) & (self.prefix2 == NO_PREFIX)
+        two = self.prefix2 != NO_PREFIX
+        m = len(self.prefix1)
+        return float(one.sum()) / m, float(two.sum()) / m
+
+
+def build_two_prefix_forest(tile: SpikeTile) -> TwoPrefixForest:
+    """Greedy two-prefix selection (Table II preliminary study).
+
+    The second prefix must be (a) a subset of the *residual* pattern after
+    removing the first prefix — hence disjoint from the first — and (b)
+    schedulable, i.e. its popcount is strictly smaller than the row's
+    original popcount (it executes earlier under the popcount sort).
+    """
+    base = build_forest(tile)
+    m, k = tile.m, tile.k
+    popcounts = base.popcounts
+    prefix2 = np.full(m, NO_PREFIX, dtype=np.int64)
+    pattern = base.pattern.copy()
+
+    for row in range(m):
+        if base.prefix[row] == NO_PREFIX:
+            continue
+        residual = pattern[row]
+        residual_count = int(residual.sum())
+        if residual_count < 2:
+            continue  # reusing a second prefix saves at most one add
+        best_row, best_size = NO_PREFIX, 0
+        for other in range(m):
+            if other == row or popcounts[other] == 0:
+                continue
+            if popcounts[other] >= popcounts[row]:
+                continue  # cannot be scheduled before the suffix
+            other_bits = tile.bits[other]
+            if (other_bits & ~residual).any():
+                continue  # not a subset of the residual
+            size = int(popcounts[other])
+            if size > best_size or (size == best_size and other > best_row):
+                best_row, best_size = other, size
+        if best_row != NO_PREFIX:
+            prefix2[row] = best_row
+            pattern[row] = residual ^ tile.bits[best_row]
+
+    return TwoPrefixForest(
+        tile=tile,
+        prefix1=base.prefix.copy(),
+        prefix2=prefix2,
+        pattern=pattern,
+    )

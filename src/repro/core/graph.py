@@ -1,0 +1,93 @@
+"""The full ProSparsity graph (Sec. III-D, Fig. 3b).
+
+Every spike row is a node; a directed edge ``prefix -> suffix`` exists for
+every legal EM/PM pair. The graph costs O(m^2) space and admits nodes with
+multiple prefixes, which is why the architecture prunes it to a forest
+(:mod:`repro.core.forest`). The graph form is retained here for analysis:
+multi-prefix density studies (Table II) and pruning-quality measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.core.relations import subset_relation_matrix
+from repro.core.spike_matrix import SpikeTile
+from repro.utils.bitops import popcount_rows
+
+
+@dataclass
+class ProSparsityGraph:
+    """Directed prefix graph over the rows of one spike tile.
+
+    Attributes
+    ----------
+    tile:
+        The source tile.
+    prefix_candidates:
+        ``(m, m)`` bool matrix; entry ``[i, j]`` true when row ``j`` is a
+        *legal* prefix of row ``i`` (subset, non-empty, and EM pairs keep
+        only the smaller index as prefix).
+    popcounts:
+        Per-row spike counts.
+    """
+
+    tile: SpikeTile
+    prefix_candidates: np.ndarray
+    popcounts: np.ndarray = field(repr=False)
+
+    @property
+    def m(self) -> int:
+        return self.tile.m
+
+    def num_edges(self) -> int:
+        return int(self.prefix_candidates.sum())
+
+    def prefix_counts(self) -> np.ndarray:
+        """Number of legal prefixes per row."""
+        return self.prefix_candidates.sum(axis=1)
+
+    def suffix_counts(self) -> np.ndarray:
+        """Number of rows that could reuse each row as prefix."""
+        return self.prefix_candidates.sum(axis=0)
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Materialize as a ``networkx`` digraph (edges prefix -> suffix)."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(self.m))
+        suffixes, prefixes = np.nonzero(self.prefix_candidates)
+        graph.add_edges_from(zip(prefixes.tolist(), suffixes.tolist()))
+        return graph
+
+    def is_acyclic(self) -> bool:
+        """The legality filter guarantees a DAG; exposed for verification."""
+        return nx.is_directed_acyclic_graph(self.to_networkx())
+
+
+def build_graph(tile: SpikeTile) -> ProSparsityGraph:
+    """Build the legal-prefix graph for a tile.
+
+    Legality (Sec. III-C + Sec. V-C "Efficient Pruning"):
+
+    * ``S_j ⊆ S_i`` with ``S_j`` non-empty (subset relation);
+    * for **EM** pairs (``S_j == S_i``) only the row with the *smaller*
+      index may act as prefix — the stable popcount sort used by the
+      Dispatcher preserves index order within equal popcounts, so a
+      larger-index EM prefix would execute after its suffix;
+    * **PM** prefixes may have any index: their popcount is strictly
+      smaller, so the sort always schedules them earlier.
+    """
+    subset = subset_relation_matrix(tile)
+    em = subset & subset.T
+    index = np.arange(tile.m)
+    # Remove EM candidates whose index is larger than the query row's.
+    em_violation = em & (index[None, :] > index[:, None])
+    legal = subset & ~em_violation
+    return ProSparsityGraph(
+        tile=tile,
+        prefix_candidates=legal,
+        popcounts=popcount_rows(tile.packed),
+    )

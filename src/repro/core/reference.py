@@ -1,0 +1,73 @@
+"""Naive golden-reference implementations used to validate the fast paths.
+
+Everything here is deliberately written as straight-line set logic over
+Python sets — slow, obvious, and independent of the vectorized bit-packed
+implementations it checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.forest import NO_PREFIX
+
+
+def dense_spiking_gemm(spike_matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Plain dense reference: binary activations times weights."""
+    spikes = np.asarray(spike_matrix, dtype=bool)
+    weights = np.asarray(weights)
+    dtype = np.int64 if np.issubdtype(weights.dtype, np.integer) else np.float64
+    return spikes.astype(dtype) @ weights.astype(dtype)
+
+
+def spike_sets(spike_matrix: np.ndarray) -> list[frozenset[int]]:
+    """Row-wise spike sets S_i = {j | M[i, j] = 1} (paper's Sec. III-B)."""
+    spikes = np.asarray(spike_matrix, dtype=bool)
+    return [frozenset(np.flatnonzero(row).tolist()) for row in spikes]
+
+
+def reference_prefixes(spike_matrix: np.ndarray) -> np.ndarray:
+    """O(m^2) set-based prefix selection replicating the pruning rules.
+
+    For each row i: candidates are non-empty rows j != i with S_j ⊆ S_i,
+    excluding EM rows with j > i; keep max (|S_j|, j) lexicographically.
+    """
+    sets = spike_sets(spike_matrix)
+    m = len(sets)
+    prefixes = np.full(m, NO_PREFIX, dtype=np.int64)
+    for i in range(m):
+        best: tuple[int, int] | None = None
+        for j in range(m):
+            if j == i or not sets[j]:
+                continue
+            if not sets[j] <= sets[i]:
+                continue
+            if sets[j] == sets[i] and j > i:
+                continue
+            key = (len(sets[j]), j)
+            if best is None or key > best:
+                best = key
+        if best is not None:
+            prefixes[i] = best[1]
+    return prefixes
+
+
+def reference_product_nnz(spike_matrix: np.ndarray) -> int:
+    """Residual spike count after one-prefix ProSparsity, via sets."""
+    sets = spike_sets(spike_matrix)
+    prefixes = reference_prefixes(spike_matrix)
+    total = 0
+    for i, row_set in enumerate(sets):
+        if prefixes[i] == NO_PREFIX:
+            total += len(row_set)
+        else:
+            total += len(row_set - sets[int(prefixes[i])])
+    return total
+
+
+def reference_execution_order(spike_matrix: np.ndarray) -> np.ndarray:
+    """Stable popcount sort implemented with Python's sorted() for checking."""
+    sets = spike_sets(spike_matrix)
+    return np.array(
+        sorted(range(len(sets)), key=lambda i: len(sets[i])), dtype=np.int64
+    )

@@ -1,0 +1,111 @@
+"""Spatial relationship detection between spike rows (Sec. III-B).
+
+Two spike rows ``i`` and ``j`` with spike sets ``S_i`` and ``S_j`` and
+non-empty intersection ``A = S_i ∩ S_j`` stand in one of three relations:
+
+* **Exact Match (EM)** — ``A == S_i == S_j``: the rows are identical.
+* **Partial Match (PM)** — ``A == S_j != S_i``: ``S_j`` is a *proper*
+  subset of ``S_i`` (``j`` can serve as a prefix of ``i``).
+* **Intersection** — ``A != S_i`` and ``A != S_j``: the rows overlap but
+  neither contains the other. Exploiting this would require materializing a
+  new row for ``A``, so Prosperity ignores it (Sec. III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.core.spike_matrix import SpikeTile
+from repro.utils.bitops import popcount_rows, subset_matrix
+
+
+class Relation(Enum):
+    """Pairwise spatial relation between two spike rows."""
+
+    NONE = "none"
+    EXACT_MATCH = "exact_match"
+    PARTIAL_MATCH = "partial_match"
+    INTERSECTION = "intersection"
+
+
+@dataclass(frozen=True)
+class RelationSummary:
+    """Counts of each relation over all ordered row pairs of a tile."""
+
+    exact_match: int
+    partial_match: int
+    intersection: int
+    none: int
+
+    @property
+    def total_pairs(self) -> int:
+        return self.exact_match + self.partial_match + self.intersection + self.none
+
+
+def classify_pair(row_i: np.ndarray, row_j: np.ndarray) -> Relation:
+    """Classify the relation of row ``j`` relative to row ``i``.
+
+    ``PARTIAL_MATCH`` means ``j`` is a proper subset of ``i`` — i.e. ``j``
+    is a prefix *candidate* for ``i``. The relation is directional.
+    """
+    row_i = np.asarray(row_i, dtype=bool)
+    row_j = np.asarray(row_j, dtype=bool)
+    if row_i.shape != row_j.shape:
+        raise ValueError("rows must have equal length")
+    intersection = row_i & row_j
+    if not intersection.any():
+        return Relation.NONE
+    j_subset = (intersection == row_j).all()
+    i_subset = (intersection == row_i).all()
+    if j_subset and i_subset:
+        return Relation.EXACT_MATCH
+    if j_subset:
+        return Relation.PARTIAL_MATCH
+    return Relation.INTERSECTION
+
+
+def subset_relation_matrix(tile: SpikeTile) -> np.ndarray:
+    """Boolean ``(m, m)`` matrix: entry ``[i, j]`` true iff ``S_j ⊆ S_i``.
+
+    Empty rows are excluded as subsets: an all-zero row is trivially a subset
+    of everything but reusing its (zero) result saves nothing, and the
+    hardware never selects it as a prefix.
+    """
+    subset = subset_matrix(tile.packed)
+    np.fill_diagonal(subset, False)
+    nonzero = popcount_rows(tile.packed) > 0
+    return subset & nonzero[None, :]
+
+
+def exact_match_matrix(tile: SpikeTile) -> np.ndarray:
+    """Boolean ``(m, m)`` matrix of EM pairs (symmetric, diagonal False)."""
+    subset = subset_relation_matrix(tile)
+    return subset & subset.T
+
+
+def summarize_relations(tile: SpikeTile) -> RelationSummary:
+    """Count EM / PM / intersection / none over all unordered row pairs."""
+    packed = tile.packed
+    m = tile.m
+    subset = subset_matrix(packed)
+    np.fill_diagonal(subset, False)
+    # intersect[i, j] true when rows share at least one spike
+    rows_i = packed[:, None, :]
+    rows_j = packed[None, :, :]
+    intersect = (rows_i & rows_j).any(axis=2)
+    np.fill_diagonal(intersect, False)
+
+    upper = np.triu(np.ones((m, m), dtype=bool), k=1)
+    em = subset & subset.T
+    pm_either = (subset | subset.T) & ~em
+    inter_only = intersect & ~subset & ~subset.T
+
+    return RelationSummary(
+        exact_match=int((em & upper).sum()),
+        partial_match=int((pm_either & upper).sum()),
+        intersection=int((inter_only & upper).sum()),
+        none=int((~intersect & upper).sum()),
+    )

@@ -1,0 +1,157 @@
+"""Spike matrix container and the tiling scheme of Sec. V-A.
+
+A spiking GeMM multiplies an ``(M, K)`` binary spike matrix with a
+``(K, N)`` weight matrix. Prosperity decomposes it into ``m × k`` spike
+tiles (paper default ``m=256, k=16``) so the ProSparsity search scope stays
+bounded and on-chip buffers capture reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils.bitops import pack_rows, popcount_rows
+from repro.utils.validation import ensure_binary_matrix
+
+
+@dataclass(frozen=True)
+class TileCoord:
+    """Position of a tile inside the full spike matrix."""
+
+    row_start: int
+    col_start: int
+
+    def __str__(self) -> str:
+        return f"tile(rows={self.row_start}.., cols={self.col_start}..)"
+
+
+class SpikeTile:
+    """One ``m × k`` slice of a spike matrix.
+
+    Holds both the boolean view and the packed (byte) view; the packed view
+    backs all set-algebra operations the PPU performs.
+    """
+
+    def __init__(self, bits: np.ndarray, coord: TileCoord | None = None):
+        self.bits = ensure_binary_matrix(bits, "spike tile")
+        self.coord = coord if coord is not None else TileCoord(0, 0)
+        self.packed = pack_rows(self.bits)
+
+    @property
+    def m(self) -> int:
+        return self.bits.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.bits.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        """Total number of spikes (1-bits) in the tile."""
+        return int(self.bits.sum())
+
+    @property
+    def bit_density(self) -> float:
+        """Fraction of 1-bits — the BitSparsity density of this tile."""
+        if self.bits.size == 0:
+            return 0.0
+        return self.nnz / self.bits.size
+
+    def popcounts(self) -> np.ndarray:
+        """Per-row spike counts (the Detector's Number-of-Ones vector)."""
+        return popcount_rows(self.packed)
+
+    def __repr__(self) -> str:
+        return f"SpikeTile(m={self.m}, k={self.k}, density={self.bit_density:.3f})"
+
+
+class SpikeMatrix:
+    """Full binary activation matrix of one spiking-GeMM operand.
+
+    Parameters
+    ----------
+    bits:
+        ``(M, K)`` binary array. For SNN layers, M is typically
+        ``time_steps × spatial positions`` after unrolling time steps
+        (Sec. II-A) and K the input feature dimension.
+    """
+
+    def __init__(self, bits: np.ndarray):
+        self.bits = ensure_binary_matrix(bits, "spike matrix")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.bits.shape
+
+    @property
+    def rows(self) -> int:
+        return self.bits.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self.bits.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        return int(self.bits.sum())
+
+    @property
+    def bit_density(self) -> float:
+        if self.bits.size == 0:
+            return 0.0
+        return self.nnz / self.bits.size
+
+    def tile(self, tile_m: int, tile_k: int) -> Iterator[SpikeTile]:
+        """Yield ``tile_m × tile_k`` tiles in row-major (m outer, k inner) order.
+
+        Edge tiles are *not* padded: ProSparsity statistics must reflect only
+        real spikes, and the PPU handles short tiles natively.
+        """
+        if tile_m <= 0 or tile_k <= 0:
+            raise ValueError("tile sizes must be positive")
+        for row_start in range(0, self.rows, tile_m):
+            row_end = min(row_start + tile_m, self.rows)
+            for col_start in range(0, self.cols, tile_k):
+                col_end = min(col_start + tile_k, self.cols)
+                yield SpikeTile(
+                    self.bits[row_start:row_end, col_start:col_end],
+                    TileCoord(row_start, col_start),
+                )
+
+    def num_tiles(self, tile_m: int, tile_k: int) -> int:
+        """Number of tiles produced by :meth:`tile` with the given sizes."""
+        tiles_m = -(-self.rows // tile_m)
+        tiles_k = -(-self.cols // tile_k)
+        return tiles_m * tiles_k
+
+    def __repr__(self) -> str:
+        return f"SpikeMatrix(shape={self.shape}, density={self.bit_density:.3f})"
+
+
+def random_spike_matrix(
+    rows: int,
+    cols: int,
+    density: float,
+    rng: np.random.Generator,
+    row_correlation: float = 0.0,
+) -> SpikeMatrix:
+    """Generate a random binary matrix with a target density.
+
+    ``row_correlation`` in [0, 1) mixes each row with a shared template row,
+    creating the combinatorial similarity that product sparsity exploits —
+    useful for controlled studies where the real SNN substrate is overkill.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    if not 0.0 <= row_correlation < 1.0:
+        raise ValueError(f"row_correlation must be in [0, 1), got {row_correlation}")
+    independent = rng.random((rows, cols)) < density
+    if row_correlation == 0.0:
+        return SpikeMatrix(independent)
+    template = rng.random(cols) < density
+    use_template = rng.random((rows, cols)) < row_correlation
+    bits = np.where(use_template, template[None, :], independent)
+    return SpikeMatrix(bits)

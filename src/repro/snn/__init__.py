@@ -1,0 +1,55 @@
+"""NumPy SNN substrate: neurons, layers, models, and workload tracing."""
+
+from repro.snn.datasets import SPECS, DatasetSpec, get_spec
+from repro.snn.layers import (
+    AvgPool2d,
+    Flatten,
+    MaxPool2d,
+    SpikeDrivenSelfAttention,
+    SpikingConv2d,
+    SpikingLinear,
+    SpikingSelfAttention,
+    TransformerFFN,
+)
+from repro.snn.network import Residual, Sequential, SpikingModel
+from repro.snn.neurons import (
+    FSNeuron,
+    IFNeuron,
+    LIFNeuron,
+    calibrate_threshold,
+    firing_rate,
+)
+from repro.snn.trace import (
+    GeMMWorkload,
+    ModelTrace,
+    WorkloadRecorder,
+    record_gemm,
+    recording,
+)
+
+__all__ = [
+    "SPECS",
+    "DatasetSpec",
+    "get_spec",
+    "AvgPool2d",
+    "Flatten",
+    "MaxPool2d",
+    "SpikeDrivenSelfAttention",
+    "SpikingConv2d",
+    "SpikingLinear",
+    "SpikingSelfAttention",
+    "TransformerFFN",
+    "Residual",
+    "Sequential",
+    "SpikingModel",
+    "FSNeuron",
+    "IFNeuron",
+    "LIFNeuron",
+    "calibrate_threshold",
+    "firing_rate",
+    "GeMMWorkload",
+    "ModelTrace",
+    "WorkloadRecorder",
+    "record_gemm",
+    "recording",
+]

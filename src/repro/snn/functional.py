@@ -1,0 +1,112 @@
+"""Stateless tensor ops for the SNN substrate: im2col, pooling, norms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive conv output ({out}) for size={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    images: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Lower convolution inputs to a matrix (Chellapilla et al., Sec. II-B).
+
+    Parameters
+    ----------
+    images:
+        ``(T, C, H, W)`` input (binary spikes or float currents).
+
+    Returns
+    -------
+    ``(T * OH * OW, C * kernel * kernel)`` matrix whose rows are flattened
+    receptive fields; multiplying by reshaped kernels realizes the conv.
+    The row ordering (time major, then raster order) matches how Prosperity
+    unrolls time steps into the spike matrix.
+    """
+    images = np.asarray(images)
+    if images.ndim != 4:
+        raise ValueError(f"expected (T, C, H, W), got shape {images.shape}")
+    t, c, h, w = images.shape
+    oh = conv_output_size(h, kernel, stride, padding)
+    ow = conv_output_size(w, kernel, stride, padding)
+    if padding:
+        padded = np.zeros((t, c, h + 2 * padding, w + 2 * padding), dtype=images.dtype)
+        padded[:, :, padding : padding + h, padding : padding + w] = images
+        images = padded
+    # Strided sliding-window view, then reorder to rows of receptive fields.
+    windows = np.lib.stride_tricks.sliding_window_view(images, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]  # (T, C, OH, OW, k, k)
+    windows = windows.transpose(0, 2, 3, 1, 4, 5)  # (T, OH, OW, C, k, k)
+    return windows.reshape(t * oh * ow, c * kernel * kernel)
+
+
+def col2im_shape(t: int, out_channels: int, oh: int, ow: int) -> tuple[int, int, int, int]:
+    """Output tensor shape corresponding to an im2col GeMM result."""
+    return (t, out_channels, oh, ow)
+
+
+def fold_gemm_output(result: np.ndarray, t: int, oh: int, ow: int) -> np.ndarray:
+    """Reshape a ``(T*OH*OW, C_out)`` GeMM result back to ``(T, C_out, OH, OW)``."""
+    result = np.asarray(result)
+    c_out = result.shape[1]
+    return result.reshape(t, oh, ow, c_out).transpose(0, 3, 1, 2)
+
+
+def max_pool_spikes(spikes: np.ndarray, window: int = 2) -> np.ndarray:
+    """Max-pool binary spike maps; on {0,1} data max-pool is a window OR."""
+    spikes = np.asarray(spikes)
+    t, c, h, w = spikes.shape
+    if h % window or w % window:
+        raise ValueError(f"spatial dims {(h, w)} not divisible by window {window}")
+    view = spikes.reshape(t, c, h // window, window, w // window, window)
+    return view.max(axis=(3, 5))
+
+
+def avg_pool(values: np.ndarray, window: int = 2) -> np.ndarray:
+    """Average-pool float maps (used before classifier heads)."""
+    values = np.asarray(values, dtype=np.float64)
+    t, c, h, w = values.shape
+    if h % window or w % window:
+        raise ValueError(f"spatial dims {(h, w)} not divisible by window {window}")
+    view = values.reshape(t, c, h // window, window, w // window, window)
+    return view.mean(axis=(3, 5))
+
+
+def global_avg_pool(values: np.ndarray) -> np.ndarray:
+    """(T, C, H, W) -> (T, C) global average."""
+    return np.asarray(values, dtype=np.float64).mean(axis=(2, 3))
+
+
+def batch_norm_stats(currents: np.ndarray, channel_axis: int = 1) -> tuple[np.ndarray, np.ndarray]:
+    """Per-channel mean/std over all other axes (training-style statistics)."""
+    currents = np.asarray(currents, dtype=np.float64)
+    axes = tuple(i for i in range(currents.ndim) if i != channel_axis)
+    mean = currents.mean(axis=axes)
+    std = currents.std(axis=axes)
+    return mean, np.where(std > 1e-12, std, 1.0)
+
+
+def layer_norm(values: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Normalize over the trailing feature axis (transformer LayerNorm)."""
+    values = np.asarray(values, dtype=np.float64)
+    mean = values.mean(axis=-1, keepdims=True)
+    std = values.std(axis=-1, keepdims=True)
+    return (values - mean) / (std + eps)
+
+
+def softmax(values: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax (SFU exp/div path)."""
+    values = np.asarray(values, dtype=np.float64)
+    shifted = values - values.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)

@@ -1,0 +1,341 @@
+"""Spiking layers: the building blocks of the evaluated SNN models.
+
+Each layer that performs a spiking GeMM reports it to the active
+:class:`~repro.snn.trace.WorkloadRecorder`. Layers carrying a spiking
+neuron support *threshold calibration on first forward*: normalization
+statistics and the firing threshold are fitted so the output spike train
+hits the layer's target firing rate — the stand-in for trained weights
+(see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.snn import functional as F
+from repro.snn.neurons import (
+    LIFNeuron,
+    calibrate_threshold,
+    calibrate_threshold_channels,
+    heterogeneous_rates,
+)
+from repro.snn.trace import record_gemm
+from repro.utils.rng import default_rng
+
+
+class Layer:
+    """Base class: a named module with a ``forward`` method."""
+
+    def __init__(self, name: str = ""):
+        self.name = name or self.__class__.__name__
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}({self.name!r})"
+
+
+class _SpikingGeMMLayer(Layer):
+    """Shared machinery: weight init, normalization, LIF calibration."""
+
+    def __init__(
+        self,
+        name: str,
+        fan_in: int,
+        fan_out: int,
+        target_rate: float,
+        tau: float,
+        rng: np.random.Generator | None,
+        rate_spread: float = 1.5,
+    ):
+        super().__init__(name)
+        rng = rng if rng is not None else default_rng()
+        scale = np.sqrt(2.0 / fan_in)
+        self.weight = rng.normal(0.0, scale, size=(fan_in, fan_out))
+        self.neuron = LIFNeuron(tau=tau)
+        self.target_rate = target_rate
+        # rate_spread > 0 draws heavy-tailed per-channel target rates
+        # (trained-SNN-like heterogeneity); 0 calibrates one shared rate.
+        self.rate_spread = rate_spread
+        self._rng = rng
+        self._calibrated = False
+        self._norm_mean: np.ndarray | None = None
+        self._norm_std: np.ndarray | None = None
+
+    def _normalize(self, currents: np.ndarray, channel_axis: int) -> np.ndarray:
+        """Batch-norm-style per-channel normalization (stats fit once)."""
+        if self._norm_mean is None:
+            self._norm_mean, self._norm_std = F.batch_norm_stats(currents, channel_axis)
+        shape = [1] * currents.ndim
+        shape[channel_axis] = -1
+        return (currents - self._norm_mean.reshape(shape)) / self._norm_std.reshape(shape)
+
+    def _fire(self, currents: np.ndarray, channel_axis: int) -> np.ndarray:
+        if not self._calibrated:
+            if self.rate_spread > 0:
+                rates = heterogeneous_rates(
+                    self.target_rate,
+                    currents.shape[channel_axis],
+                    self._rng,
+                    concentration=self.rate_spread,
+                )
+                calibrate_threshold_channels(
+                    self.neuron, currents, rates, channel_axis=channel_axis
+                )
+            else:
+                calibrate_threshold(self.neuron, currents, self.target_rate)
+            self._calibrated = True
+        return self.neuron.forward(currents)
+
+
+class SpikingConv2d(_SpikingGeMMLayer):
+    """Conv + folded BN + LIF, lowered to a spiking GeMM via im2col.
+
+    Input/output: ``(T, C, H, W)`` binary spikes.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        padding: int = 1,
+        name: str = "conv",
+        target_rate: float = 0.25,
+        tau: float = 2.0,
+        rng: np.random.Generator | None = None,
+        rate_spread: float = 1.5,
+    ):
+        super().__init__(
+            name, in_channels * kernel * kernel, out_channels, target_rate, tau, rng,
+            rate_spread=rate_spread,
+        )
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, spikes: np.ndarray) -> np.ndarray:
+        spikes = np.asarray(spikes)
+        t, c, h, w = spikes.shape
+        if c != self.in_channels:
+            raise ValueError(f"{self.name}: expected {self.in_channels} channels, got {c}")
+        oh = F.conv_output_size(h, self.kernel, self.stride, self.padding)
+        ow = F.conv_output_size(w, self.kernel, self.stride, self.padding)
+        cols = F.im2col(spikes, self.kernel, self.stride, self.padding)
+        if spikes.dtype == bool:
+            record_gemm(self.name, cols, self.out_channels, kind="conv", time_steps=t)
+        currents = cols.astype(np.float64) @ self.weight
+        currents = F.fold_gemm_output(currents, t, oh, ow)
+        currents = self._normalize(currents, channel_axis=1)
+        return self._fire(currents, channel_axis=1)
+
+
+class SpikingLinear(_SpikingGeMMLayer):
+    """Fully connected + LIF. Input ``(T, ..., in_features)`` binary spikes."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        name: str = "linear",
+        target_rate: float = 0.25,
+        tau: float = 2.0,
+        fire: bool = True,
+        rng: np.random.Generator | None = None,
+        rate_spread: float = 1.5,
+    ):
+        super().__init__(
+            name, in_features, out_features, target_rate, tau, rng,
+            rate_spread=rate_spread,
+        )
+        self.in_features = in_features
+        self.out_features = out_features
+        self.fire = fire
+
+    def forward(self, spikes: np.ndarray) -> np.ndarray:
+        spikes = np.asarray(spikes)
+        if spikes.shape[-1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected {self.in_features} features, got {spikes.shape[-1]}"
+            )
+        flat = spikes.reshape(-1, self.in_features)
+        if spikes.dtype == bool:
+            record_gemm(
+                self.name, flat, self.out_features, kind="linear",
+                time_steps=spikes.shape[0],
+            )
+        currents = (flat.astype(np.float64) @ self.weight).reshape(
+            spikes.shape[:-1] + (self.out_features,)
+        )
+        currents = self._normalize(currents, channel_axis=currents.ndim - 1)
+        if not self.fire:
+            return currents
+        return self._fire(currents, channel_axis=currents.ndim - 1)
+
+
+class MaxPool2d(Layer):
+    """Window-OR pooling on binary spike maps."""
+
+    def __init__(self, window: int = 2, name: str = "maxpool"):
+        super().__init__(name)
+        self.window = window
+
+    def forward(self, spikes: np.ndarray) -> np.ndarray:
+        return F.max_pool_spikes(spikes, self.window)
+
+
+class AvgPool2d(Layer):
+    """Average pooling (float path, used before classifier heads)."""
+
+    def __init__(self, window: int = 2, name: str = "avgpool"):
+        super().__init__(name)
+        self.window = window
+
+    def forward(self, values: np.ndarray) -> np.ndarray:
+        return F.avg_pool(values, self.window)
+
+
+class Flatten(Layer):
+    """(T, C, H, W) -> (T, C*H*W), keeping the time axis."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(x).reshape(x.shape[0], -1)
+
+
+class SpikingSelfAttention(Layer):
+    """Spikformer's Spiking Self-Attention (SSA, Zhou et al. 2022).
+
+    Q, K, V are binary spike tensors produced by linear+LIF branches. The
+    attention product is computed as ``Q (K^T V)`` — softmax-free — so both
+    matrix products keep a *binary left operand* and remain spiking GeMMs,
+    which Prosperity's PPU executes (paper Sec. IV "Support for
+    Transformers"). Each per-(timestep, head) product is recorded as its
+    own workload: rows of different heads multiply different operands, so
+    they must not share a ProSparsity scope.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        heads: int,
+        name: str = "ssa",
+        target_rate: float = 0.2,
+        tau: float = 2.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(name)
+        if dim % heads:
+            raise ValueError(f"dim {dim} not divisible by heads {heads}")
+        rng = rng if rng is not None else default_rng()
+        self.dim = dim
+        self.heads = heads
+        self.head_dim = dim // heads
+        common = dict(target_rate=target_rate, tau=tau)
+        self.q_proj = SpikingLinear(dim, dim, name=f"{name}.q", rng=rng, **common)
+        self.k_proj = SpikingLinear(dim, dim, name=f"{name}.k", rng=rng, **common)
+        self.v_proj = SpikingLinear(dim, dim, name=f"{name}.v", rng=rng, **common)
+        self.out_proj = SpikingLinear(dim, dim, name=f"{name}.out", rng=rng, **common)
+        self.attn_neuron = LIFNeuron(tau=tau)
+        self._attn_calibrated = False
+        self.target_rate = target_rate
+
+    def forward(self, spikes: np.ndarray) -> np.ndarray:
+        t, length, dim = spikes.shape
+        q = self.q_proj(spikes)
+        k = self.k_proj(spikes)
+        v = self.v_proj(spikes)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        attn_out = np.zeros((t, length, dim), dtype=np.float64)
+        for step in range(t):
+            for head in range(self.heads):
+                lo, hi = head * self.head_dim, (head + 1) * self.head_dim
+                q_h, k_h, v_h = q[step, :, lo:hi], k[step, :, lo:hi], v[step, :, lo:hi]
+                # K^T V: binary left operand (head_dim x L) times (L x head_dim).
+                k_t = np.ascontiguousarray(k_h.T)
+                record_gemm(f"{self.name}.kv", k_t, self.head_dim, kind="attention")
+                kv = k_t.astype(np.float64) @ v_h.astype(np.float64)
+                # Q (K^T V): binary left operand (L x head_dim).
+                record_gemm(f"{self.name}.qkv", q_h, self.head_dim, kind="attention")
+                attn_out[step, :, lo:hi] = q_h.astype(np.float64) @ kv * scale
+
+        if not self._attn_calibrated:
+            calibrate_threshold(self.attn_neuron, attn_out, self.target_rate)
+            self._attn_calibrated = True
+        attn_spikes = self.attn_neuron.forward(attn_out)
+        return self.out_proj(attn_spikes)
+
+
+class SpikeDrivenSelfAttention(Layer):
+    """SDT's Spike-Driven Self-Attention (Yao et al. 2024).
+
+    Attention is computed with masks and column sums — Hadamard products
+    and additions only, no attention GeMM (handled by Prosperity's SFU
+    AND/OR units). Only the Q/K/V/out projections are spiking GeMMs.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        heads: int,
+        name: str = "sdsa",
+        target_rate: float = 0.15,
+        tau: float = 2.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(name)
+        rng = rng if rng is not None else default_rng()
+        common = dict(target_rate=target_rate, tau=tau)
+        self.q_proj = SpikingLinear(dim, dim, name=f"{name}.q", rng=rng, **common)
+        self.k_proj = SpikingLinear(dim, dim, name=f"{name}.k", rng=rng, **common)
+        self.v_proj = SpikingLinear(dim, dim, name=f"{name}.v", rng=rng, **common)
+        self.out_proj = SpikingLinear(dim, dim, name=f"{name}.out", rng=rng, **common)
+        self.gate_neuron = LIFNeuron(tau=tau)
+        self._gate_calibrated = False
+        self.target_rate = target_rate
+
+    def forward(self, spikes: np.ndarray) -> np.ndarray:
+        q = self.q_proj(spikes)
+        k = self.k_proj(spikes)
+        v = self.v_proj(spikes)
+        # Column-wise sum of K⊙V over tokens, gated through a spiking neuron,
+        # then broadcast-masked by Q: pure element-wise / reduction datapath.
+        kv = (k & v).sum(axis=1, keepdims=True).astype(np.float64)
+        if not self._gate_calibrated:
+            calibrate_threshold(self.gate_neuron, kv, self.target_rate)
+            self._gate_calibrated = True
+        gate = self.gate_neuron.forward(kv)
+        masked = q & gate
+        return self.out_proj(masked)
+
+
+class TransformerFFN(Layer):
+    """Feed-forward block: two spiking linears with expansion ``ratio``."""
+
+    def __init__(
+        self,
+        dim: int,
+        ratio: int = 4,
+        name: str = "ffn",
+        target_rate: float = 0.2,
+        tau: float = 2.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(name)
+        rng = rng if rng is not None else default_rng()
+        self.up = SpikingLinear(
+            dim, dim * ratio, name=f"{name}.up", target_rate=target_rate, tau=tau, rng=rng
+        )
+        self.down = SpikingLinear(
+            dim * ratio, dim, name=f"{name}.down", target_rate=target_rate, tau=tau, rng=rng
+        )
+
+    def forward(self, spikes: np.ndarray) -> np.ndarray:
+        return self.down(self.up(spikes))

@@ -1,0 +1,66 @@
+"""Model registry: every SNN the paper evaluates, by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.snn.models.alexnet import build_alexnet
+from repro.snn.models.lenet import build_lenet5
+from repro.snn.models.resnet import build_resnet18, build_resnet19
+from repro.snn.models.sdt import build_sdt
+from repro.snn.models.spikebert import build_spikebert
+from repro.snn.models.spikformer import build_spikformer
+from repro.snn.models.spikingbert import build_spikingbert
+from repro.snn.models.vgg import build_vgg9, build_vgg16
+from repro.snn.network import SpikingModel
+
+MODEL_BUILDERS: dict[str, Callable[..., SpikingModel]] = {
+    "vgg16": build_vgg16,
+    "vgg9": build_vgg9,
+    "resnet18": build_resnet18,
+    "resnet19": build_resnet19,
+    "lenet5": build_lenet5,
+    "alexnet": build_alexnet,
+    "spikformer": build_spikformer,
+    "sdt": build_sdt,
+    "spikebert": build_spikebert,
+    "spikingbert": build_spikingbert,
+}
+
+# Whether a model is a spiking transformer (drives the Fig. 8 baseline set:
+# prior SNN ASICs run only the linear layers of transformers).
+TRANSFORMER_MODELS = {"spikformer", "sdt", "spikebert", "spikingbert"}
+
+
+def build_model(
+    name: str, dataset: str, rng: np.random.Generator | None = None, **kwargs
+) -> SpikingModel:
+    """Instantiate a registered model for a dataset.
+
+    Extra keyword arguments pass through to the builder (e.g. ``scale`` for
+    reduced test-size variants, ``depth``/``dim`` for transformers).
+    """
+    try:
+        builder = MODEL_BUILDERS[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(MODEL_BUILDERS)}") from None
+    return builder(dataset=dataset, rng=rng, **kwargs)
+
+
+__all__ = [
+    "MODEL_BUILDERS",
+    "TRANSFORMER_MODELS",
+    "build_model",
+    "build_alexnet",
+    "build_lenet5",
+    "build_resnet18",
+    "build_resnet19",
+    "build_sdt",
+    "build_spikebert",
+    "build_spikformer",
+    "build_spikingbert",
+    "build_vgg9",
+    "build_vgg16",
+]

@@ -1,0 +1,49 @@
+"""Spiking AlexNet (CIFAR-scale), used in the LoAS dual-sparsity study."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.snn.datasets import get_spec, synthetic_image
+from repro.snn.encoding import direct_threshold_encode
+from repro.snn.layers import Flatten, MaxPool2d, SpikingConv2d, SpikingLinear
+from repro.snn.network import Sequential, SpikingModel
+
+
+def build_alexnet(
+    dataset: str = "cifar10",
+    rng: np.random.Generator | None = None,
+    time_steps: int = 4,
+    target_rate: float = 0.29,
+    tau: float = 2.0,
+    scale: float = 1.0,
+) -> SpikingModel:
+    """CIFAR-adapted spiking AlexNet (3x3 kernels, three pooling stages)."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    spec = get_spec(dataset)
+
+    def width(value: int) -> int:
+        return max(8, int(round(value * scale)))
+
+    common = dict(target_rate=target_rate, tau=tau, rng=rng)
+    layers = [
+        SpikingConv2d(spec.channels, width(64), kernel=3, padding=1, name="conv0", **common),
+        MaxPool2d(2, name="pool0"),   # 32 -> 16
+        SpikingConv2d(width(64), width(192), kernel=3, padding=1, name="conv1", **common),
+        MaxPool2d(2, name="pool1"),   # 16 -> 8
+        SpikingConv2d(width(192), width(384), kernel=3, padding=1, name="conv2", **common),
+        SpikingConv2d(width(384), width(256), kernel=3, padding=1, name="conv3", **common),
+        SpikingConv2d(width(256), width(256), kernel=3, padding=1, name="conv4", **common),
+        MaxPool2d(2, name="pool2"),   # 8 -> 4
+        Flatten(name="flatten"),
+        SpikingLinear(width(256) * 4 * 4, width(1024), name="fc0", **common),
+        SpikingLinear(width(1024), spec.classes, name="head", fire=False, **common),
+    ]
+    network = Sequential(layers, name="alexnet")
+
+    class _AlexNetModel(SpikingModel):
+        def build_input(self, rng_in: np.random.Generator) -> np.ndarray:
+            image = synthetic_image(get_spec(self.dataset), rng_in)
+            return direct_threshold_encode(image, time_steps)
+
+    return _AlexNetModel("alexnet", dataset, network)

@@ -1,0 +1,46 @@
+"""Spiking LeNet-5 ("LN5" in the paper's Fig. 11 density study)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.snn.datasets import get_spec, synthetic_image
+from repro.snn.encoding import direct_threshold_encode
+from repro.snn.layers import Flatten, MaxPool2d, SpikingConv2d, SpikingLinear
+from repro.snn.network import Sequential, SpikingModel
+
+
+def build_lenet5(
+    dataset: str = "mnist",
+    rng: np.random.Generator | None = None,
+    time_steps: int = 4,
+    target_rate: float = 0.30,
+    tau: float = 2.0,
+    scale: float = 1.0,
+) -> SpikingModel:
+    """Classic LeNet-5 topology with LIF activations on 28x28 input."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    spec = get_spec(dataset)
+
+    def width(value: int) -> int:
+        return max(4, int(round(value * scale)))
+
+    common = dict(target_rate=target_rate, tau=tau, rng=rng)
+    layers = [
+        SpikingConv2d(spec.channels, width(6), kernel=5, padding=2, name="conv0", **common),
+        MaxPool2d(2, name="pool0"),          # 28 -> 14
+        SpikingConv2d(width(6), width(16), kernel=5, padding=0, name="conv1", **common),
+        MaxPool2d(2, name="pool1"),          # 10 -> 5
+        Flatten(name="flatten"),
+        SpikingLinear(width(16) * 5 * 5, width(120), name="fc0", **common),
+        SpikingLinear(width(120), width(84), name="fc1", **common),
+        SpikingLinear(width(84), spec.classes, name="head", fire=False, **common),
+    ]
+    network = Sequential(layers, name="lenet5")
+
+    class _LeNetModel(SpikingModel):
+        def build_input(self, rng_in: np.random.Generator) -> np.ndarray:
+            image = synthetic_image(get_spec(self.dataset), rng_in)
+            return direct_threshold_encode(image, time_steps)
+
+    return _LeNetModel("lenet5", dataset, network)

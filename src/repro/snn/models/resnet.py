@@ -1,0 +1,131 @@
+"""Spiking ResNet-18 / ResNet-19 (He et al.; spiking variant per Fang et al.)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.snn.datasets import get_spec, synthetic_image
+from repro.snn.encoding import direct_threshold_encode
+from repro.snn.layers import Flatten, Layer, SpikingConv2d, SpikingLinear
+from repro.snn.network import Sequential, SpikingModel
+
+
+class BasicBlock(Layer):
+    """Two 3x3 spiking convs with a binary (OR) residual shortcut.
+
+    When the block changes resolution or width, the shortcut is a strided
+    1x1 spiking conv so both branches stay binary and shape-compatible.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int,
+        name: str,
+        target_rate: float,
+        tau: float,
+        rng: np.random.Generator,
+    ):
+        super().__init__(name)
+        self.conv1 = SpikingConv2d(
+            in_channels, out_channels, kernel=3, stride=stride, padding=1,
+            name=f"{name}.conv1", target_rate=target_rate, tau=tau, rng=rng,
+        )
+        self.conv2 = SpikingConv2d(
+            out_channels, out_channels, kernel=3, stride=1, padding=1,
+            name=f"{name}.conv2", target_rate=target_rate, tau=tau, rng=rng,
+        )
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut: Layer | None = SpikingConv2d(
+                in_channels, out_channels, kernel=1, stride=stride, padding=0,
+                name=f"{name}.shortcut", target_rate=target_rate, tau=tau, rng=rng,
+            )
+        else:
+            self.shortcut = None
+
+    def forward(self, spikes: np.ndarray) -> np.ndarray:
+        out = self.conv2(self.conv1(spikes))
+        identity = spikes if self.shortcut is None else self.shortcut(spikes)
+        return out | identity
+
+
+def _build_resnet(
+    arch_name: str,
+    blocks_per_stage: list[int],
+    dataset: str,
+    rng: np.random.Generator,
+    time_steps: int,
+    target_rate: float,
+    tau: float,
+    scale: float,
+) -> SpikingModel:
+    spec = get_spec(dataset)
+
+    def width(channels: int) -> int:
+        return max(8, int(round(channels * scale)))
+
+    layers: list[Layer] = [
+        SpikingConv2d(
+            spec.channels, width(64), kernel=3, padding=1, name="stem",
+            target_rate=target_rate, tau=tau, rng=rng,
+        )
+    ]
+    in_channels = width(64)
+    for stage, (channels, blocks) in enumerate(zip((64, 128, 256, 512), blocks_per_stage)):
+        for block in range(blocks):
+            stride = 2 if stage > 0 and block == 0 else 1
+            layers.append(
+                BasicBlock(
+                    in_channels, width(channels), stride,
+                    name=f"stage{stage}.block{block}",
+                    target_rate=target_rate, tau=tau, rng=rng,
+                )
+            )
+            in_channels = width(channels)
+    final_size = 32 // 8  # three stride-2 stages from 32x32
+    layers.append(Flatten(name="flatten"))
+    layers.append(
+        SpikingLinear(
+            in_channels * final_size * final_size, spec.classes, name="head",
+            target_rate=target_rate, tau=tau, fire=False, rng=rng,
+        )
+    )
+    network = Sequential(layers, name=arch_name)
+
+    class _ResNetModel(SpikingModel):
+        def build_input(self, rng_in: np.random.Generator) -> np.ndarray:
+            image = synthetic_image(get_spec(self.dataset), rng_in)
+            return direct_threshold_encode(image, time_steps)
+
+    return _ResNetModel(arch_name, dataset, network)
+
+
+def build_resnet18(
+    dataset: str = "cifar10",
+    rng: np.random.Generator | None = None,
+    time_steps: int = 4,
+    target_rate: float = 0.12,
+    tau: float = 2.0,
+    scale: float = 1.0,
+) -> SpikingModel:
+    """Spiking ResNet-18 — the sparser CNN workload of Figs. 8/11."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return _build_resnet(
+        "resnet18", [2, 2, 2, 2], dataset, rng, time_steps, target_rate, tau, scale
+    )
+
+
+def build_resnet19(
+    dataset: str = "cifar10",
+    rng: np.random.Generator | None = None,
+    time_steps: int = 4,
+    target_rate: float = 0.15,
+    tau: float = 2.0,
+    scale: float = 1.0,
+) -> SpikingModel:
+    """Spiking ResNet-19 (used in the LoAS dual-sparsity study, Table V)."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return _build_resnet(
+        "resnet19", [3, 3, 2, 2], dataset, rng, time_steps, target_rate, tau, scale
+    )

@@ -1,0 +1,146 @@
+"""Spiking VGG models (VGG-16 and VGG-9, Simonyan & Zisserman / Sengupta).
+
+Configurations follow the CIFAR-scale variants used by the SNN literature
+the paper evaluates: 3x3 convs, max-pool after each stage, direct-coded
+input, T=4 time steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.snn.datasets import get_spec, synthetic_image
+from repro.snn.encoding import direct_threshold_encode
+from repro.snn.layers import Flatten, MaxPool2d, SpikingConv2d, SpikingLinear
+from repro.snn.network import Sequential, SpikingModel
+
+VGG16_CFG: list[int | str] = [
+    64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512, "M",
+    512, 512, 512, "M",
+]
+VGG9_CFG: list[int | str] = [64, 64, "M", 128, 128, "M", 256, 256, "M"]
+
+
+def _scaled(channels: int, scale: float) -> int:
+    return max(8, int(round(channels * scale)))
+
+
+def layer_rate_profile(base_rate: float, count: int, decay: float = 0.3) -> list[float]:
+    """Geometrically declining per-layer firing rates.
+
+    Trained SNNs fire densely in early layers and sparsely in deep ones;
+    ``decay`` is the last/first rate ratio (paper-consistent profiles put
+    deep conv layers well below 10%). The first layer starts above
+    ``base_rate`` so the element-weighted average stays near it.
+    """
+    if count <= 1:
+        return [base_rate] * max(count, 1)
+    first = min(0.9, base_rate * 1.4)
+    ratio = decay ** (1.0 / (count - 1))
+    return [max(0.01, first * ratio**i) for i in range(count)]
+
+
+class _VGGModel(SpikingModel):
+    """Shared input pipeline for VGG variants (image datasets only)."""
+
+    def __init__(self, name, dataset, network, time_steps, pad_to: int):
+        super().__init__(name, dataset, network)
+        self.time_steps = time_steps
+        self.pad_to = pad_to
+
+    def build_input(self, rng: np.random.Generator) -> np.ndarray:
+        spec = get_spec(self.dataset)
+        image = synthetic_image(spec, rng)
+        if spec.size < self.pad_to:
+            padded = np.zeros((spec.channels, self.pad_to, self.pad_to))
+            offset = (self.pad_to - spec.size) // 2
+            padded[:, offset : offset + spec.size, offset : offset + spec.size] = image
+            image = padded
+        return direct_threshold_encode(image, self.time_steps)
+
+
+def _build_vgg(
+    arch_name: str,
+    cfg: list[int | str],
+    dataset: str,
+    rng: np.random.Generator,
+    time_steps: int,
+    target_rate: float,
+    tau: float,
+    scale: float,
+    hidden: int,
+) -> _VGGModel:
+    spec = get_spec(dataset)
+    size = 32  # CIFAR-scale; smaller datasets (MNIST) are padded up
+    conv_count = sum(1 for item in cfg if item != "M")
+    rates = layer_rate_profile(target_rate, conv_count)
+    layers: list = []
+    in_channels = spec.channels
+    stage = size
+    index = 0
+    for item in cfg:
+        if item == "M":
+            layers.append(MaxPool2d(2, name=f"pool{index}"))
+            stage //= 2
+            continue
+        out_channels = _scaled(int(item), scale)
+        layers.append(
+            SpikingConv2d(
+                in_channels,
+                out_channels,
+                kernel=3,
+                padding=1,
+                name=f"conv{index}",
+                target_rate=rates[index],
+                tau=tau,
+                rng=rng,
+            )
+        )
+        in_channels = out_channels
+        index += 1
+    flat_features = in_channels * stage * stage
+    layers.append(Flatten(name="flatten"))
+    layers.append(
+        SpikingLinear(
+            flat_features, _scaled(hidden, scale), name="fc0",
+            target_rate=rates[-1], tau=tau, rng=rng,
+        )
+    )
+    layers.append(
+        SpikingLinear(
+            _scaled(hidden, scale), spec.classes, name="head",
+            target_rate=rates[-1], tau=tau, fire=False, rng=rng,
+        )
+    )
+    network = Sequential(layers, name=arch_name)
+    return _VGGModel(arch_name, dataset, network, time_steps, pad_to=size)
+
+
+def build_vgg16(
+    dataset: str = "cifar100",
+    rng: np.random.Generator | None = None,
+    time_steps: int = 4,
+    target_rate: float = 0.34,
+    tau: float = 2.0,
+    scale: float = 1.0,
+) -> SpikingModel:
+    """Spiking VGG-16 (the paper's headline CNN workload, Tables I/IV)."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return _build_vgg(
+        "vgg16", VGG16_CFG, dataset, rng, time_steps, target_rate, tau, scale, hidden=512
+    )
+
+
+def build_vgg9(
+    dataset: str = "cifar10",
+    rng: np.random.Generator | None = None,
+    time_steps: int = 4,
+    target_rate: float = 0.25,
+    tau: float = 2.0,
+    scale: float = 1.0,
+) -> SpikingModel:
+    """Spiking VGG-9 (appears in the Fig. 11 density comparison)."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return _build_vgg(
+        "vgg9", VGG9_CFG, dataset, rng, time_steps, target_rate, tau, scale, hidden=1024
+    )

@@ -1,0 +1,73 @@
+"""Network containers and the tracing entry point."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.snn.layers import Layer
+from repro.snn.trace import ModelTrace, WorkloadRecorder, recording
+
+
+class Sequential(Layer):
+    """Feed-forward chain of layers."""
+
+    def __init__(self, layers: list[Layer], name: str = "sequential"):
+        super().__init__(name)
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Layer:
+        return self.layers[index]
+
+
+class Residual(Layer):
+    """Binary residual connection: OR of branch output with its input.
+
+    Spiking transformers commonly keep residual paths binary (membrane
+    shortcut); OR preserves the spike alphabet while retaining the
+    correlation structure ProSparsity exploits.
+    """
+
+    def __init__(self, body: Layer, name: str = "residual"):
+        super().__init__(name)
+        self.body = body
+
+    def forward(self, spikes: np.ndarray) -> np.ndarray:
+        out = self.body(spikes)
+        if out.dtype == bool and spikes.dtype == bool and out.shape == spikes.shape:
+            return out | spikes
+        return out
+
+
+class SpikingModel:
+    """A named SNN plus the input pipeline needed to trace it.
+
+    Subclasses (or factory-built instances) provide ``build_input`` and a
+    ``network``; :meth:`trace` runs one forward pass under a recorder and
+    returns the resulting :class:`ModelTrace`.
+    """
+
+    def __init__(self, name: str, dataset: str, network: Layer):
+        self.name = name
+        self.dataset = dataset
+        self.network = network
+
+    def build_input(self, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def trace(self, rng: np.random.Generator) -> ModelTrace:
+        """Run one recorded inference; first run also calibrates thresholds."""
+        recorder = WorkloadRecorder()
+        x = self.build_input(rng)
+        with recording(recorder):
+            self.network(x)
+        return ModelTrace(
+            model=self.name, dataset=self.dataset, workloads=recorder.workloads
+        )

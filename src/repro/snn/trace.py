@@ -1,0 +1,164 @@
+"""Workload extraction: from SNN forward passes to spiking-GeMM traces.
+
+The paper drives its simulator with per-layer binary spike matrices
+extracted from PyTorch runs ("We extract the runtime information and use
+it in our experiment"). Here, layers report every spiking GeMM they
+perform to the active :class:`WorkloadRecorder`; the resulting
+:class:`ModelTrace` is the interface between the SNN substrate and every
+accelerator model in :mod:`repro.baselines` / :mod:`repro.arch`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.spike_matrix import SpikeMatrix
+
+
+@dataclass
+class GeMMWorkload:
+    """One spiking GeMM: binary ``(M, K)`` activations times ``(K, N)`` weights.
+
+    Attributes
+    ----------
+    name:
+        Layer path, e.g. ``"features.3.conv"``.
+    spikes:
+        The binary left operand (time steps already unrolled into rows).
+    n:
+        Output feature dimension (columns of the weight operand).
+    kind:
+        ``"conv"`` | ``"linear"`` | ``"attention"`` — attention GeMMs have a
+        *dynamic* right operand (another spike product), which only GPU and
+        Prosperity support (Sec. VII-A).
+    time_steps:
+        SNN time steps folded into M, kept for PTB-style time batching.
+    """
+
+    name: str
+    spikes: SpikeMatrix
+    n: int
+    kind: str = "linear"
+    time_steps: int = 1
+
+    @property
+    def m(self) -> int:
+        return self.spikes.rows
+
+    @property
+    def k(self) -> int:
+        return self.spikes.cols
+
+    @property
+    def dense_macs(self) -> int:
+        """Dense multiply-accumulate count (the GPU/Eyeriss workload)."""
+        return self.m * self.k * self.n
+
+    @property
+    def spike_accumulations(self) -> int:
+        """Bit-sparse accumulate count (one add per spike per output col)."""
+        return int(self.spikes.nnz) * self.n
+
+    @property
+    def bit_density(self) -> float:
+        return self.spikes.bit_density
+
+
+@dataclass
+class ModelTrace:
+    """All spiking GeMMs of one model on one input, in execution order."""
+
+    model: str
+    dataset: str
+    workloads: list[GeMMWorkload] = field(default_factory=list)
+
+    @property
+    def total_dense_macs(self) -> int:
+        return sum(w.dense_macs for w in self.workloads)
+
+    @property
+    def total_spikes(self) -> int:
+        return sum(w.spikes.nnz for w in self.workloads)
+
+    @property
+    def total_elements(self) -> int:
+        return sum(w.spikes.bits.size for w in self.workloads)
+
+    @property
+    def bit_density(self) -> float:
+        elements = self.total_elements
+        return self.total_spikes / elements if elements else 0.0
+
+    def linear_only(self) -> "ModelTrace":
+        """Drop attention GeMMs — what PTB/SATO/MINT can execute (Sec. VII-A)."""
+        return ModelTrace(
+            model=self.model,
+            dataset=self.dataset,
+            workloads=[w for w in self.workloads if w.kind != "attention"],
+        )
+
+    def __iter__(self) -> Iterator[GeMMWorkload]:
+        return iter(self.workloads)
+
+    def __len__(self) -> int:
+        return len(self.workloads)
+
+
+class WorkloadRecorder:
+    """Collects GeMM workloads emitted by layers during a forward pass."""
+
+    def __init__(self) -> None:
+        self.workloads: list[GeMMWorkload] = []
+
+    def record(
+        self,
+        name: str,
+        spikes: np.ndarray,
+        n: int,
+        kind: str = "linear",
+        time_steps: int = 1,
+    ) -> None:
+        self.workloads.append(
+            GeMMWorkload(
+                name=name,
+                spikes=SpikeMatrix(np.asarray(spikes, dtype=bool)),
+                n=int(n),
+                kind=kind,
+                time_steps=time_steps,
+            )
+        )
+
+
+_ACTIVE_RECORDER: list[WorkloadRecorder] = []
+
+
+@contextlib.contextmanager
+def recording(recorder: WorkloadRecorder) -> Iterator[WorkloadRecorder]:
+    """Activate a recorder for the duration of a forward pass."""
+    _ACTIVE_RECORDER.append(recorder)
+    try:
+        yield recorder
+    finally:
+        _ACTIVE_RECORDER.pop()
+
+
+def active_recorder() -> WorkloadRecorder | None:
+    """The innermost active recorder, or None outside a recording block."""
+    return _ACTIVE_RECORDER[-1] if _ACTIVE_RECORDER else None
+
+
+def record_gemm(
+    name: str,
+    spikes: np.ndarray,
+    n: int,
+    kind: str = "linear",
+    time_steps: int = 1,
+) -> None:
+    """Report a spiking GeMM to the active recorder, if any."""
+    recorder = active_recorder()
+    if recorder is not None:
+        recorder.record(name, spikes, n, kind=kind, time_steps=time_steps)

@@ -1,0 +1,33 @@
+"""Shared low-level utilities: bit manipulation, RNG, validation helpers."""
+
+from repro.utils.bitops import (
+    bit_scan_forward,
+    bits_to_int,
+    int_to_bits,
+    is_subset,
+    pack_rows,
+    popcount_rows,
+    subset_matrix,
+    unpack_rows,
+)
+from repro.utils.rng import default_rng
+from repro.utils.validation import (
+    ensure_binary_matrix,
+    ensure_positive,
+    ensure_shape_2d,
+)
+
+__all__ = [
+    "bit_scan_forward",
+    "bits_to_int",
+    "int_to_bits",
+    "is_subset",
+    "pack_rows",
+    "popcount_rows",
+    "subset_matrix",
+    "unpack_rows",
+    "default_rng",
+    "ensure_binary_matrix",
+    "ensure_positive",
+    "ensure_shape_2d",
+]

@@ -1,0 +1,31 @@
+"""Input validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensure_shape_2d(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Return ``matrix`` as a 2-D ndarray or raise ``ValueError``."""
+    array = np.asarray(matrix)
+    if array.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {array.shape}")
+    return array
+
+
+def ensure_binary_matrix(matrix: np.ndarray, name: str = "spike matrix") -> np.ndarray:
+    """Return ``matrix`` as a 2-D bool ndarray, rejecting non-binary input."""
+    array = ensure_shape_2d(matrix, name)
+    if array.dtype != bool:
+        unique = np.unique(array)
+        if not np.isin(unique, (0, 1)).all():
+            raise ValueError(f"{name} must contain only 0/1 values")
+        array = array.astype(bool)
+    return array
+
+
+def ensure_positive(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value

@@ -1,0 +1,101 @@
+"""Workload registry: the paper's model x dataset evaluation grid.
+
+Traces are expensive to build (one calibrated forward pass per model), so
+this module caches them per (model, dataset, preset) within a process.
+Two presets exist:
+
+* ``"paper"`` — the configurations of Sec. VII-A (full channel widths,
+  SpikeBERT at 12x768, etc.); used by the benchmark harness.
+* ``"small"`` — reduced widths/depths with identical structure; used by
+  tests and quick examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.snn.models import build_model
+from repro.snn.trace import ModelTrace
+
+#: The 16 model/dataset pairs of Fig. 8 (speedup + energy efficiency).
+FIG8_GRID: tuple[tuple[str, str], ...] = (
+    ("vgg16", "cifar10"),
+    ("vgg16", "cifar100"),
+    ("resnet18", "cifar10"),
+    ("resnet18", "cifar100"),
+    ("spikformer", "cifar10"),
+    ("spikformer", "cifar10dvs"),
+    ("spikformer", "cifar100"),
+    ("sdt", "cifar10"),
+    ("sdt", "cifar10dvs"),
+    ("sdt", "cifar100"),
+    ("spikebert", "sst2"),
+    ("spikebert", "mr"),
+    ("spikebert", "sst5"),
+    ("spikingbert", "sst2"),
+    ("spikingbert", "qqp"),
+    ("spikingbert", "mnli"),
+)
+
+#: The Fig. 11 density-comparison grid (adds VGG-9 / LeNet-5 workloads).
+FIG11_GRID: tuple[tuple[str, str], ...] = (
+    ("vgg16", "cifar10"),
+    ("vgg16", "cifar100"),
+    ("vgg9", "cifar10"),
+    ("vgg9", "mnist"),
+    ("resnet18", "cifar10"),
+    ("resnet18", "cifar100"),
+    ("lenet5", "mnist"),
+    ("spikformer", "cifar10"),
+    ("spikformer", "cifar100"),
+    ("sdt", "cifar10"),
+    ("sdt", "cifar100"),
+    ("spikebert", "sst2"),
+    ("spikebert", "mr"),
+    ("spikebert", "sst5"),
+    ("spikingbert", "sst2"),
+    ("spikingbert", "qqp"),
+)
+
+# Builder overrides per preset. "small" shrinks width/depth but keeps the
+# architecture (and therefore the sparsity structure) intact.
+_PRESET_KWARGS: dict[str, dict[str, dict]] = {
+    "paper": {
+        "spikebert": dict(depth=12, dim=768),
+        "spikingbert": dict(depth=4, dim=768),
+    },
+    "small": {
+        "vgg16": dict(scale=0.25),
+        "vgg9": dict(scale=0.25),
+        "resnet18": dict(scale=0.25),
+        "resnet19": dict(scale=0.25),
+        "alexnet": dict(scale=0.25),
+        "lenet5": dict(scale=0.5),
+        "spikformer": dict(dim=192, depth=2, heads=6),
+        "sdt": dict(dim=128, depth=1, heads=4),
+        "spikebert": dict(dim=192, depth=2, heads=6),
+        "spikingbert": dict(dim=192, depth=2, heads=6),
+    },
+}
+
+_TRACE_CACHE: dict[tuple[str, str, str, int], ModelTrace] = {}
+
+
+def get_trace(
+    model: str, dataset: str, preset: str = "small", seed: int = 7
+) -> ModelTrace:
+    """Build (or fetch from cache) the trace for one model/dataset pair."""
+    if preset not in _PRESET_KWARGS:
+        raise KeyError(f"unknown preset {preset!r}; known: {sorted(_PRESET_KWARGS)}")
+    key = (model, dataset, preset, seed)
+    if key not in _TRACE_CACHE:
+        rng = np.random.default_rng(seed)
+        kwargs = _PRESET_KWARGS[preset].get(model, {})
+        instance = build_model(model, dataset, rng=rng, **kwargs)
+        _TRACE_CACHE[key] = instance.trace(rng)
+    return _TRACE_CACHE[key]
+
+
+def clear_trace_cache() -> None:
+    """Drop all cached traces (tests use this for isolation)."""
+    _TRACE_CACHE.clear()

@@ -1,0 +1,53 @@
+"""Shared fixtures: deterministic RNGs, canonical tiles, cached traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.spike_matrix import SpikeMatrix, SpikeTile
+from repro.workloads import get_trace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def paper_tile() -> SpikeTile:
+    """The running example of the paper's Fig. 2/3 (6 rows x 4 cols)."""
+    bits = np.array(
+        [
+            [1, 0, 1, 0],  # row 0: 1010
+            [1, 0, 0, 1],  # row 1: 1001
+            [1, 0, 1, 1],  # row 2: 1011
+            [0, 0, 1, 0],  # row 3: 0010
+            [1, 1, 0, 1],  # row 4: 1101
+            [1, 1, 0, 1],  # row 5: 1101 (EM with row 4)
+        ],
+        dtype=bool,
+    )
+    return SpikeTile(bits)
+
+
+@pytest.fixture
+def random_tile(rng) -> SpikeTile:
+    return SpikeTile(rng.random((64, 16)) < 0.3)
+
+
+@pytest.fixture
+def random_matrix(rng) -> SpikeMatrix:
+    return SpikeMatrix(rng.random((300, 40)) < 0.25)
+
+
+@pytest.fixture(scope="session")
+def vgg_trace():
+    """Small VGG-16 trace shared across architecture tests."""
+    return get_trace("vgg16", "cifar10", preset="small")
+
+
+@pytest.fixture(scope="session")
+def transformer_trace():
+    """Small Spikformer trace (includes attention workloads)."""
+    return get_trace("spikformer", "cifar10", preset="small")

@@ -1,0 +1,124 @@
+"""Tests for the design ablations, the CLI, and chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ablation import (
+    ORDER_POLICIES,
+    PREFIX_POLICIES,
+    ablate_design_choices,
+    tile_density_under_policy,
+)
+from repro.analysis.plots import bar_chart, grouped_bar_chart, hbar, sparkline
+from repro.cli import main
+from repro.core.spike_matrix import SpikeTile
+
+
+class TestPrefixPolicies:
+    def test_largest_matches_forest(self, paper_tile):
+        from repro.core.forest import build_forest
+
+        bit, product = tile_density_under_policy(paper_tile, "largest", "sorted")
+        forest = build_forest(paper_tile)
+        assert product == forest.product_nnz()
+        assert bit == paper_tile.nnz
+
+    def test_largest_never_worse_than_alternatives(self, rng):
+        for _ in range(5):
+            tile = SpikeTile(rng.random((48, 16)) < 0.35)
+            _, largest = tile_density_under_policy(tile, "largest", "sorted", rng)
+            for policy in ("smallest", "lowest_index", "random"):
+                _, other = tile_density_under_policy(tile, policy, "sorted", rng)
+                assert largest <= other, policy
+
+    def test_none_policy_equals_bit_sparsity(self, paper_tile):
+        bit, product = tile_density_under_policy(paper_tile, "none", "sorted")
+        assert product == bit
+
+    def test_program_order_hurts(self, paper_tile):
+        """Row 0 cannot reuse Row 3 when processed top-to-bottom (Fig. 1)."""
+        _, sorted_product = tile_density_under_policy(paper_tile, "largest", "sorted")
+        _, program_product = tile_density_under_policy(paper_tile, "largest", "program")
+        assert program_product > sorted_product
+
+    def test_unknown_policy_rejected(self, paper_tile):
+        with pytest.raises(ValueError):
+            tile_density_under_policy(paper_tile, "best")
+        with pytest.raises(ValueError):
+            tile_density_under_policy(paper_tile, "largest", "reverse")
+
+
+class TestAblationStudy:
+    def test_full_grid(self, vgg_trace):
+        points = ablate_design_choices(
+            vgg_trace, max_tiles_per_workload=2, rng=np.random.default_rng(0)
+        )
+        combos = {(p.prefix_policy, p.order_policy) for p in points}
+        assert ("largest", "sorted") in combos
+        assert len(points) == len(PREFIX_POLICIES) * len(ORDER_POLICIES) - 1
+        by_combo = {(p.prefix_policy, p.order_policy): p for p in points}
+        paper_choice = by_combo[("largest", "sorted")]
+        # The paper's design achieves the lowest density of all combos.
+        assert paper_choice.product_density == min(
+            p.product_density for p in points
+        )
+        # And "none" reproduces plain bit sparsity.
+        none_point = by_combo[("none", "sorted")]
+        assert none_point.product_density == pytest.approx(none_point.bit_density)
+
+
+class TestCLI:
+    def test_density_command(self, capsys):
+        assert main(["density", "--model", "lenet5", "--dataset", "mnist",
+                     "--max-tiles", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "product (Prosperity)" in out
+
+    def test_tradeoff_command(self, capsys):
+        assert main(["tradeoff", "--sparsity-increase", "0.1335"]) == 0
+        out = capsys.readouterr().out
+        assert "3.00x" in out
+
+    def test_simulate_command(self, capsys):
+        assert main(["simulate", "--model", "lenet5", "--dataset", "mnist",
+                     "--max-tiles", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "prosperity" in out and "eyeriss" in out
+
+    def test_scaling_command(self, capsys):
+        assert main(["scaling", "--model", "lenet5", "--dataset", "mnist",
+                     "--max-tiles", "4"]) == 0
+        assert "PPUs" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["fly"])
+
+
+class TestPlots:
+    def test_hbar_full_and_empty(self):
+        assert hbar(10, 10, width=10) == "█" * 10
+        assert hbar(0, 10, width=10) == ""
+
+    def test_bar_chart_lines(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], width=10, title="T", unit="x")
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 3
+        assert "2x" in lines[2]
+
+    def test_bar_chart_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_grouped_chart(self):
+        chart = grouped_bar_chart(["w1"], {"bit": [0.3], "pro": [0.1]})
+        assert "bit" in chart and "pro" in chart
+
+    def test_sparkline_range(self):
+        line = sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""

@@ -1,0 +1,113 @@
+"""Tests for density reports, the DSE sweep, and the cost trade-off."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.density import (
+    density_report,
+    trace_prosparsity_stats,
+    two_prefix_report,
+)
+from repro.analysis.report import format_percent, format_ratio, format_table
+from repro.analysis.sweep import sweep_tile_sizes
+from repro.analysis.tradeoff import (
+    breakeven_sparsity_increase,
+    evaluate_tradeoff,
+)
+
+
+class TestDensityReport:
+    def test_product_below_bit(self, vgg_trace):
+        report = density_report(vgg_trace, max_tiles=8, rng=np.random.default_rng(0))
+        assert report.product_density < report.bit_density
+        assert report.reduction_vs_bit > 1.0
+
+    def test_structured_above_bit(self, vgg_trace):
+        """PTB's structure processes extra zeros: density >= bit density."""
+        report = density_report(vgg_trace, max_tiles=8, rng=np.random.default_rng(0))
+        assert report.structured_density >= report.bit_density
+
+    def test_stats_aggregation(self, vgg_trace):
+        stats = trace_prosparsity_stats(
+            vgg_trace, max_tiles=8, rng=np.random.default_rng(0)
+        )
+        assert stats.tiles > 0
+        assert stats.rows > 0
+
+
+class TestTwoPrefixReport:
+    def test_table2_shape(self, vgg_trace):
+        report = two_prefix_report(
+            vgg_trace, max_tiles_per_workload=2, rng=np.random.default_rng(0)
+        )
+        # Paper Table II: two-prefix strictly denser reduction, most reuse
+        # comes from the first prefix, second prefix used by a minority.
+        assert report.two_prefix_density <= report.one_prefix_density
+        assert report.one_prefix_density < report.bit_density
+        assert report.two_prefix_ratio < report.one_prefix_ratio
+
+
+class TestTradeoff:
+    def test_breakeven_matches_paper(self):
+        """Sec. VII-G: threshold dS = 4.4% at m=256, n=128, ratio 45."""
+        assert breakeven_sparsity_increase() == pytest.approx(0.0444, abs=1e-3)
+
+    def test_paper_operating_point(self):
+        """dS = 13.35% -> benefit-cost ratio 3.0x."""
+        result = evaluate_tradeoff(0.1335)
+        assert result.benefit_cost_ratio == pytest.approx(3.0, abs=0.05)
+        assert result.profitable
+
+    def test_below_threshold_unprofitable(self):
+        assert not evaluate_tradeoff(0.02).profitable
+
+    def test_larger_m_raises_threshold(self):
+        """Bigger TCAM scope costs more: break-even dS grows with m."""
+        assert breakeven_sparsity_increase(tile_m=512) > breakeven_sparsity_increase(
+            tile_m=256
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            evaluate_tradeoff(-0.1)
+
+
+class TestSweep:
+    def test_fig7_trends(self, vgg_trace):
+        m_sweep, k_sweep = sweep_tile_sizes(
+            [vgg_trace],
+            m_values=(64, 256, 1024),
+            k_values=(8, 16, 64),
+            max_tiles=6,
+            rng=np.random.default_rng(0),
+        )
+        # Larger m -> lower (or equal) product density: more prefix scope.
+        densities = [p.product_density for p in m_sweep]
+        assert densities[-1] <= densities[0]
+        # Area grows with m.
+        areas = [p.area_mm2 for p in m_sweep]
+        assert areas[-1] > areas[0]
+        # k sweep evaluated at fixed m.
+        assert all(p.tile_m == 256 for p in k_sweep)
+        assert [p.tile_k for p in k_sweep] == [8, 16, 64]
+
+    def test_latency_ratio_below_one(self, vgg_trace):
+        """Prosperity must beat bit sparsity at the default tile size."""
+        m_sweep, _ = sweep_tile_sizes(
+            [vgg_trace], m_values=(256,), k_values=(16,),
+            max_tiles=8, rng=np.random.default_rng(0),
+        )
+        assert m_sweep[0].latency_vs_bit < 1.0
+
+
+class TestFormatting:
+    def test_format_table_basic(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 0.001]], title="T")
+        assert "T" in text and "a" in text and "x" in text
+
+    def test_format_percent(self):
+        assert format_percent(0.1234) == "12.34%"
+
+    def test_format_ratio(self):
+        assert format_ratio(2.5) == "2.50x"
+        assert format_ratio(float("inf")) == "inf"

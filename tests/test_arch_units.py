@@ -1,0 +1,131 @@
+"""Tests for the PPU hardware unit models (TCAM, sorter, pruner, decoder)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.decoder import AddressDecoder
+from repro.arch.pruner_unit import Pruner
+from repro.arch.sorter import BitonicSorter
+from repro.arch.tcam import TCAM
+from repro.core.forest import NO_PREFIX, build_forest
+from repro.core.spike_matrix import SpikeTile
+from repro.utils.bitops import pack_rows, popcount_rows
+
+
+class TestTCAM:
+    def test_subset_search_matches_paper_example(self, paper_tile):
+        tcam = TCAM(8, 4)
+        tcam.load(paper_tile.bits)
+        # Query Row 2 (1011) -> mask X0XX. Paper Fig. 5a shows SI bits
+        # 1,1,1,1,0,0: entries 0 (1010), 1 (1001), 2 (self), 3 (0010).
+        matches = tcam.search_subsets(paper_tile.bits[2])
+        assert set(matches.tolist()) == {0, 1, 2, 3}
+
+    def test_search_includes_self(self, random_tile):
+        tcam = TCAM(random_tile.m, random_tile.k)
+        tcam.load(random_tile.bits)
+        for row in (0, random_tile.m - 1):
+            assert row in tcam.search_subsets(random_tile.bits[row])
+
+    def test_search_semantics_against_sets(self, random_tile):
+        tcam = TCAM(random_tile.m, random_tile.k)
+        tcam.load(random_tile.bits)
+        sets = [set(np.flatnonzero(r)) for r in random_tile.bits]
+        for row in range(0, random_tile.m, 7):
+            matches = set(tcam.search_subsets(random_tile.bits[row]).tolist())
+            expected = {j for j in range(random_tile.m) if sets[j] <= sets[row]}
+            assert matches == expected
+
+    def test_one_cycle_per_query(self):
+        tcam = TCAM(16, 8)
+        assert tcam.search_cycles(16) == 16
+
+    def test_bit_operations_quadratic(self, paper_tile):
+        tcam = TCAM(8, 4)
+        tcam.load(paper_tile.bits)
+        assert tcam.bit_operations(6) == 6 * 6 * 4
+
+    def test_capacity_check(self):
+        tcam = TCAM(4, 4)
+        with pytest.raises(ValueError):
+            tcam.load(np.zeros((5, 4), dtype=bool))
+
+    def test_unloaded_search_raises(self):
+        with pytest.raises(RuntimeError):
+            TCAM(4, 4).search_subsets(np.zeros(4, dtype=bool))
+
+
+class TestBitonicSorter:
+    def test_sort_matches_stable_argsort(self, rng):
+        sorter = BitonicSorter(64)
+        for _ in range(5):
+            keys = rng.integers(0, 16, size=rng.integers(2, 64))
+            order = sorter.sort(keys)
+            expected = np.argsort(keys, kind="stable")
+            assert (order == expected).all()
+
+    def test_stability_with_ties(self):
+        sorter = BitonicSorter(8)
+        keys = np.array([3, 3, 3, 1, 1])
+        assert sorter.sort(keys).tolist() == [3, 4, 0, 1, 2]
+
+    def test_stage_count(self):
+        sorter = BitonicSorter(256)
+        assert sorter.stages(256) == 8 * 9 // 2  # log2(256)=8
+
+    def test_stages_far_below_m(self):
+        """The sort must hide inside the m-cycle ProSparsity phase."""
+        for m in (64, 256, 1024):
+            assert BitonicSorter(m).stages(m) < m
+
+    def test_comparisons_positive(self):
+        assert BitonicSorter(16).comparisons(16) > 0
+
+
+class TestPruner:
+    def test_matches_forest_prefixes(self, paper_tile):
+        pruner = Pruner(paper_tile.m)
+        popcounts = popcount_rows(pack_rows(paper_tile.bits))
+        forest = build_forest(paper_tile)
+        tcam = TCAM(paper_tile.m, paper_tile.k)
+        tcam.load(paper_tile.bits)
+        for row in range(paper_tile.m):
+            subset_idx = tcam.search_subsets(paper_tile.bits[row])
+            out = pruner.prune(row, paper_tile.bits, subset_idx, popcounts)
+            assert out.prefix == forest.prefix[row]
+            assert (out.pattern == forest.pattern[row]).all()
+
+    def test_comparison_counter_increases(self, paper_tile):
+        pruner = Pruner(paper_tile.m)
+        popcounts = popcount_rows(pack_rows(paper_tile.bits))
+        tcam = TCAM(paper_tile.m, paper_tile.k)
+        tcam.load(paper_tile.bits)
+        tcam_matches = tcam.search_subsets(paper_tile.bits[2])
+        pruner.prune(2, paper_tile.bits, tcam_matches, popcounts)
+        assert pruner.comparisons > 0
+
+    def test_no_candidates_full_pattern(self):
+        tile = SpikeTile(np.array([[1, 1, 0], [0, 0, 1]], dtype=bool))
+        pruner = Pruner(2)
+        popcounts = popcount_rows(pack_rows(tile.bits))
+        out = pruner.prune(0, tile.bits, np.array([0]), popcounts)
+        assert out.prefix == NO_PREFIX
+        assert (out.pattern == tile.bits[0]).all()
+
+
+class TestAddressDecoder:
+    def test_addresses_in_bsf_order(self):
+        decoder = AddressDecoder(weight_row_bytes=128)
+        pattern = np.array([0, 1, 0, 1, 1], dtype=bool)
+        assert decoder.decode_row(pattern) == [128, 3 * 128, 4 * 128]
+
+    def test_does_not_mutate_input(self):
+        decoder = AddressDecoder(4)
+        pattern = np.array([1, 0, 1], dtype=bool)
+        decoder.decode_row(pattern)
+        assert pattern.tolist() == [1, 0, 1]
+
+    def test_em_row_one_cycle(self):
+        decoder = AddressDecoder(4)
+        assert decoder.cycles(0) == 1
+        assert decoder.cycles(5) == 5

@@ -1,0 +1,98 @@
+"""Property-based tests for the baseline sparsity computations."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ptb import windowed_density
+from repro.baselines.stellar import FS_MAX_SPIKES, FS_WINDOW_BITS, fs_density
+from repro.core.spike_matrix import SpikeMatrix
+from repro.snn.trace import GeMMWorkload
+
+
+def _workload_from(bits: np.ndarray, time_steps: int) -> GeMMWorkload:
+    return GeMMWorkload(
+        name="w", spikes=SpikeMatrix(bits), n=4, time_steps=time_steps
+    )
+
+
+def _brute_force_windowed(bits: np.ndarray, t: int, window: int) -> float:
+    """Obvious per-site loop implementation of PTB's window density."""
+    positions = bits.shape[0] // t
+    per_step = bits.reshape(t, positions, bits.shape[1])
+    window = min(window, t)
+    usable = (t // window) * window
+    processed = 0
+    for start in range(0, usable, window):
+        for p in range(positions):
+            for col in range(bits.shape[1]):
+                if per_step[start : start + window, p, col].any():
+                    processed += window
+    processed += per_step[usable:].size
+    return processed / bits.size
+
+
+@given(
+    st.integers(1, 6),   # positions
+    st.integers(1, 10),  # columns
+    st.integers(2, 8),   # time steps
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_windowed_density_matches_brute_force(positions, cols, t, seed):
+    rng = np.random.default_rng(seed)
+    bits = rng.random((t * positions, cols)) < 0.3
+    workload = _workload_from(bits, t)
+    fast = windowed_density(workload, window=4)
+    slow = _brute_force_windowed(bits, t, window=4)
+    assert fast == slow
+
+
+@given(
+    st.integers(1, 8),
+    st.integers(1, 16),
+    st.integers(2, 8),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_windowed_density_bounds(positions, cols, t, seed):
+    rng = np.random.default_rng(seed)
+    bits = rng.random((t * positions, cols)) < rng.uniform(0.05, 0.6)
+    workload = _workload_from(bits, t)
+    density = windowed_density(workload, window=4)
+    # Window processing covers at least every spike, at most everything.
+    assert workload.bit_density <= density <= 1.0
+
+
+@given(
+    st.integers(1, 8),
+    st.integers(1, 16),
+    st.integers(2, 8),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_fs_density_bounds(positions, cols, t, seed):
+    rng = np.random.default_rng(seed)
+    bits = rng.random((t * positions, cols)) < rng.uniform(0.05, 0.6)
+    workload = _workload_from(bits, t)
+    density = fs_density(workload)
+    assert 0.0 <= density <= FS_MAX_SPIKES / FS_WINDOW_BITS + 1e-12
+
+
+def test_fs_density_zero_for_silent_input():
+    bits = np.zeros((8, 4), dtype=bool)
+    assert fs_density(_workload_from(bits, 4)) == 0.0
+
+
+def test_fs_density_saturated_input():
+    """All-ones activity: every neuron transmits the spike cap."""
+    bits = np.ones((8, 4), dtype=bool)
+    density = fs_density(_workload_from(bits, 4))
+    assert density == FS_MAX_SPIKES / FS_WINDOW_BITS
+
+
+def test_windowed_density_window_one_equals_bit_density():
+    rng = np.random.default_rng(0)
+    bits = rng.random((16, 8)) < 0.3
+    workload = _workload_from(bits, 4)
+    assert windowed_density(workload, window=1) == workload.bit_density

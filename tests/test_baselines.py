@@ -1,0 +1,154 @@
+"""Tests for the baseline accelerator models."""
+
+import numpy as np
+import pytest
+
+from repro.arch.simulator import ProsperitySimulator
+from repro.baselines import (
+    BASELINES,
+    A100Model,
+    EyerissModel,
+    LoASModel,
+    MINTModel,
+    PTBModel,
+    SATOModel,
+    StellarModel,
+    activation_density_with_prosparsity,
+    dual_sparse_ops,
+    fs_density,
+    pruned_weight_mask,
+    windowed_density,
+)
+from repro.core.spike_matrix import SpikeMatrix
+from repro.snn.trace import GeMMWorkload, ModelTrace
+
+
+@pytest.fixture(scope="module")
+def mixed_trace():
+    rng = np.random.default_rng(11)
+    linear = GeMMWorkload(
+        "fc", SpikeMatrix(rng.random((256, 128)) < 0.3), 64, kind="linear",
+        time_steps=4,
+    )
+    attn = GeMMWorkload(
+        "attn", SpikeMatrix(rng.random((64, 64)) < 0.2), 32, kind="attention",
+    )
+    return ModelTrace("toy", "synthetic", [linear, attn])
+
+
+class TestInterface:
+    @pytest.mark.parametrize("name", sorted(BASELINES))
+    def test_all_baselines_simulate(self, name, mixed_trace):
+        report = BASELINES[name]().simulate(mixed_trace)
+        assert report.cycles > 0
+        assert report.energy_j > 0
+
+    def test_asics_drop_attention(self, mixed_trace):
+        report = PTBModel().simulate(mixed_trace)
+        assert len(report.layers) == 1  # attention workload dropped
+
+    def test_gpu_keeps_attention(self, mixed_trace):
+        report = A100Model().simulate(mixed_trace)
+        assert len(report.layers) == 2
+
+
+class TestPTB:
+    def test_windowed_density_at_least_bit_density(self, mixed_trace):
+        w = mixed_trace.workloads[0]
+        assert windowed_density(w, 4) >= w.bit_density
+
+    def test_windowed_density_all_or_nothing(self):
+        # A single spike in a window forces the whole window.
+        bits = np.zeros((4, 8), dtype=bool)
+        bits[0, 0] = True  # one spike at t=0, position 0 (1 position total: m=4=T)
+        w = GeMMWorkload("x", SpikeMatrix(bits), 4, time_steps=4)
+        assert windowed_density(w, 4) == pytest.approx(1 / 8)
+
+    def test_dense_windows_cost_full(self):
+        bits = np.ones((8, 4), dtype=bool)
+        w = GeMMWorkload("x", SpikeMatrix(bits), 4, time_steps=4)
+        assert windowed_density(w, 4) == 1.0
+
+
+class TestSATO:
+    def test_imbalance_penalty(self):
+        """A single long row stalls its whole round."""
+        rng = np.random.default_rng(0)
+        model = SATOModel()
+        balanced = np.full(32, 10)
+        skewed = np.full(32, 10)
+        skewed[::16] = 100  # one straggler per round
+        assert model.round_cycles(skewed, 64) > model.round_cycles(balanced, 64)
+
+
+class TestStellar:
+    def test_fs_density_below_bit_density_for_lif_traces(self, vgg_trace):
+        for w in vgg_trace.workloads[:3]:
+            assert fs_density(w) < w.bit_density
+
+    def test_fs_density_bounds(self, mixed_trace):
+        for w in mixed_trace.workloads:
+            assert 0.0 <= fs_density(w) <= 2.0 / 8.0 + 1e-9  # <= max_spikes/window
+
+
+class TestLoAS:
+    def test_weight_mask_density(self):
+        rng = np.random.default_rng(1)
+        mask = pruned_weight_mask(512, 512, 0.018, rng)
+        assert abs(mask.mean() - 0.018) < 0.005
+
+    def test_mask_rejects_bad_density(self):
+        with pytest.raises(ValueError):
+            pruned_weight_mask(8, 8, 0.0, np.random.default_rng(0))
+
+    def test_dual_sparse_ops_scale_with_weight_density(self, mixed_trace):
+        w = mixed_trace.workloads[0]
+        assert dual_sparse_ops(w, 0.04) == pytest.approx(2 * dual_sparse_ops(w, 0.02))
+
+    def test_prosparsity_reduces_activation_density(self, vgg_trace):
+        """Table V: LoAS + ProSparsity cuts activation density severalfold."""
+        bit, pro = activation_density_with_prosparsity(
+            vgg_trace, max_tiles=8, rng=np.random.default_rng(0)
+        )
+        assert pro < bit
+        assert bit / pro > 2.0
+
+
+class TestA100:
+    def test_utilization_increases_with_size(self):
+        from repro.baselines.gpu import tensor_core_utilization
+
+        assert tensor_core_utilization(256, 768, 3072) > tensor_core_utilization(
+            64, 64, 64
+        )
+
+    def test_launch_overhead_dominates_small_layers(self):
+        rng = np.random.default_rng(2)
+        w = GeMMWorkload(
+            "tiny", SpikeMatrix(rng.random((16, 16)) < 0.3), 16, time_steps=4
+        )
+        report = A100Model().simulate(ModelTrace("t", "d", [w]))
+        # 1 GeMM + 16 LIF kernel launches at 8us each
+        assert report.seconds >= 17 * 8e-6
+
+
+class TestPaperOrdering:
+    def test_table4_speedup_ordering(self, vgg_trace):
+        """Eyeriss slowest; Prosperity fastest among ASICs (Table IV)."""
+        seconds = {}
+        for name in ("eyeriss", "ptb", "sato", "mint", "stellar"):
+            seconds[name] = BASELINES[name]().simulate(vgg_trace).seconds
+        pro = ProsperitySimulator(
+            max_tiles_per_workload=32, rng=np.random.default_rng(0)
+        ).simulate(vgg_trace).seconds
+        assert seconds["eyeriss"] == max(seconds.values())
+        assert pro < min(seconds.values())
+        assert seconds["stellar"] < seconds["ptb"]
+        assert seconds["mint"] < seconds["ptb"]
+
+    def test_table4_energy_ordering(self, vgg_trace):
+        eyeriss = EyerissModel().simulate(vgg_trace)
+        pro = ProsperitySimulator(
+            max_tiles_per_workload=32, rng=np.random.default_rng(0)
+        ).simulate(vgg_trace)
+        assert pro.energy_j < eyeriss.energy_j

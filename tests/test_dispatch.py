@@ -1,0 +1,86 @@
+"""Tests for the temporal-ordering Dispatcher logic."""
+
+import numpy as np
+import pytest
+
+from repro.core.dispatch import (
+    build_dispatch_plan,
+    stable_popcount_order,
+    tree_walk_order,
+)
+from repro.core.forest import NO_PREFIX, build_forest
+from repro.core.reference import reference_execution_order
+from repro.core.spike_matrix import SpikeTile
+
+
+class TestStablePopcountOrder:
+    def test_matches_reference(self, paper_tile):
+        order = stable_popcount_order(paper_tile.popcounts())
+        ref = reference_execution_order(paper_tile.bits)
+        assert (order == ref).all()
+
+    def test_paper_order(self, paper_tile):
+        # popcounts [2,2,3,1,3,3] -> 3 first, then 0,1, then 2,4,5.
+        order = stable_popcount_order(paper_tile.popcounts())
+        assert order.tolist() == [3, 0, 1, 2, 4, 5]
+
+    def test_stability_preserves_index_order(self):
+        order = stable_popcount_order(np.array([2, 2, 2, 2]))
+        assert order.tolist() == [0, 1, 2, 3]
+
+
+class TestDispatchPlan:
+    def test_topological_validity(self, paper_tile, random_tile):
+        for tile in (paper_tile, random_tile):
+            forest = build_forest(tile)
+            plan = build_dispatch_plan(forest)
+            assert plan.verify_topological(forest)
+
+    def test_plan_covers_every_row_once(self, random_tile):
+        forest = build_forest(random_tile)
+        plan = build_dispatch_plan(forest)
+        assert sorted(task.row for task in plan.tasks) == list(range(random_tile.m))
+
+    def test_em_task_flag(self, paper_tile):
+        forest = build_forest(paper_tile)
+        plan = build_dispatch_plan(forest)
+        em_rows = {task.row for task in plan.tasks if task.is_exact_match}
+        assert em_rows == {5}
+
+    def test_task_pattern_nnz_matches_forest(self, random_tile):
+        forest = build_forest(random_tile)
+        plan = build_dispatch_plan(forest)
+        residual = forest.residual_ops()
+        for task in plan.tasks:
+            assert task.pattern_nnz == residual[task.row]
+
+    def test_prefix_before_suffix_many_random(self, rng):
+        for _ in range(10):
+            tile = SpikeTile(rng.random((48, 12)) < rng.uniform(0.1, 0.5))
+            forest = build_forest(tile)
+            plan = build_dispatch_plan(forest)
+            assert plan.verify_topological(forest)
+
+
+class TestTreeWalkOrder:
+    def test_visits_every_row(self, random_tile):
+        forest = build_forest(random_tile)
+        order = tree_walk_order(forest)
+        assert sorted(order.tolist()) == list(range(random_tile.m))
+
+    def test_also_topological(self, random_tile):
+        forest = build_forest(random_tile)
+        order = tree_walk_order(forest)
+        position = np.empty(len(order), dtype=np.int64)
+        position[order] = np.arange(len(order))
+        for row in range(forest.m):
+            pre = int(forest.prefix[row])
+            if pre != NO_PREFIX:
+                assert position[pre] < position[row]
+
+    def test_equivalent_results_to_stable_sort_schedule(self, paper_tile):
+        """Both dispatch strategies must yield valid (if different) orders."""
+        forest = build_forest(paper_tile)
+        fast = build_dispatch_plan(forest)
+        slow = tree_walk_order(forest)
+        assert sorted(slow.tolist()) == sorted(fast.order.tolist())

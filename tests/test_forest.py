@@ -1,0 +1,164 @@
+"""Tests for forest pruning (one prefix per row) and the two-prefix study."""
+
+import numpy as np
+import pytest
+
+from repro.core.forest import (
+    NO_PREFIX,
+    build_forest,
+    build_two_prefix_forest,
+)
+from repro.core.reference import reference_prefixes, reference_product_nnz
+from repro.core.spike_matrix import SpikeTile
+
+
+class TestPruningRules:
+    def test_paper_tile_prefixes(self, paper_tile):
+        forest = build_forest(paper_tile)
+        # Row 2 (1011) candidates: 1010 (idx 0) and 1001 (idx 1), both with
+        # 2 ones, plus 0010 (1 one). Tie on size -> largest index: row 1.
+        # This matches the paper's Fig. 5 table entry "Row 2, Row 1, 0010".
+        assert forest.prefix[2] == 1
+        assert (forest.pattern[2] == np.array([0, 0, 1, 0], dtype=bool)).all()
+        # Row 0 (1010) reuses 0010 (row 3).
+        assert forest.prefix[0] == 3
+        # Row 5 is EM with row 4; smaller index is prefix.
+        assert forest.prefix[5] == 4
+        # Row 3 (0010) has no prefix.
+        assert forest.prefix[3] == NO_PREFIX
+
+    def test_largest_subset_wins(self):
+        tile = SpikeTile(
+            np.array(
+                [
+                    [1, 0, 0, 0],   # 1 one
+                    [1, 1, 0, 0],   # 2 ones
+                    [1, 1, 1, 0],   # query: both above are subsets
+                ],
+                dtype=bool,
+            )
+        )
+        forest = build_forest(tile)
+        assert forest.prefix[2] == 1
+
+    def test_tie_breaks_to_largest_index(self):
+        tile = SpikeTile(
+            np.array(
+                [
+                    [1, 0, 0, 0],
+                    [0, 1, 0, 0],
+                    [1, 1, 0, 0],  # two 1-one subsets tie -> pick index 1
+                ],
+                dtype=bool,
+            )
+        )
+        forest = build_forest(tile)
+        assert forest.prefix[2] == 1
+
+    def test_em_larger_index_never_prefix(self):
+        tile = SpikeTile(np.array([[1, 1], [1, 1]], dtype=bool))
+        forest = build_forest(tile)
+        assert forest.prefix[0] == NO_PREFIX
+        assert forest.prefix[1] == 0
+
+    def test_matches_reference_implementation(self, rng):
+        for _ in range(10):
+            bits = rng.random((40, 12)) < rng.uniform(0.1, 0.5)
+            tile = SpikeTile(bits)
+            forest = build_forest(tile)
+            assert (forest.prefix == reference_prefixes(bits)).all()
+            assert forest.product_nnz() == reference_product_nnz(bits)
+
+
+class TestPatterns:
+    def test_pattern_is_set_difference(self, paper_tile):
+        forest = build_forest(paper_tile)
+        for row in range(paper_tile.m):
+            pre = forest.prefix[row]
+            if pre == NO_PREFIX:
+                expected = paper_tile.bits[row]
+            else:
+                expected = paper_tile.bits[row] & ~paper_tile.bits[pre]
+            assert (forest.pattern[row] == expected).all()
+
+    def test_em_pattern_empty(self, paper_tile):
+        forest = build_forest(paper_tile)
+        assert forest.pattern[5].sum() == 0
+
+    def test_exact_match_rows(self, paper_tile):
+        forest = build_forest(paper_tile)
+        assert forest.exact_match_rows().tolist() == [5]
+
+    def test_product_density_not_above_bit_density(self, random_tile):
+        forest = build_forest(random_tile)
+        assert forest.product_density() <= random_tile.bit_density + 1e-12
+
+
+class TestForestStructure:
+    def test_acyclic(self, random_tile):
+        assert build_forest(random_tile).verify_acyclic()
+
+    def test_roots_have_no_prefix(self, paper_tile):
+        forest = build_forest(paper_tile)
+        for root in forest.roots():
+            assert forest.prefix[root] == NO_PREFIX
+
+    def test_children_inverse_of_prefix(self, paper_tile):
+        forest = build_forest(paper_tile)
+        children = forest.children()
+        for prefix, kids in children.items():
+            for kid in kids:
+                assert forest.prefix[kid] == prefix
+
+    def test_depth_chain(self):
+        # 1 ⊂ 11 ⊂ 111 ⊂ 1111: a 3-edge chain.
+        bits = np.tril(np.ones((4, 4), dtype=bool))
+        forest = build_forest(SpikeTile(bits))
+        assert forest.depth() == 3
+
+    def test_depth_zero_when_no_reuse(self):
+        bits = np.eye(4, dtype=bool)
+        forest = build_forest(SpikeTile(bits))
+        assert forest.depth() == 0
+
+
+class TestTwoPrefix:
+    def test_second_prefix_disjoint(self, rng):
+        bits = rng.random((48, 16)) < 0.35
+        tile = SpikeTile(bits)
+        two = build_two_prefix_forest(tile)
+        for row in range(tile.m):
+            p2 = two.prefix2[row]
+            if p2 == NO_PREFIX:
+                continue
+            p1 = two.prefix1[row]
+            assert p1 != NO_PREFIX
+            overlap = tile.bits[p1] & tile.bits[p2]
+            assert not overlap.any()
+
+    def test_two_prefix_never_worse(self, rng):
+        for _ in range(5):
+            bits = rng.random((32, 16)) < 0.3
+            tile = SpikeTile(bits)
+            one = build_forest(tile)
+            two = build_two_prefix_forest(tile)
+            assert two.product_nnz() <= one.product_nnz()
+
+    def test_two_prefix_union_still_subset(self, rng):
+        bits = rng.random((48, 16)) < 0.35
+        tile = SpikeTile(bits)
+        two = build_two_prefix_forest(tile)
+        for row in range(tile.m):
+            reconstructed = two.pattern[row].copy()
+            if two.prefix1[row] != NO_PREFIX:
+                reconstructed |= tile.bits[two.prefix1[row]]
+            if two.prefix2[row] != NO_PREFIX:
+                reconstructed |= tile.bits[two.prefix2[row]]
+            assert (reconstructed == tile.bits[row]).all()
+
+    def test_prefix_ratio_bounds(self, random_tile):
+        two = build_two_prefix_forest(random_tile)
+        one_ratio, two_ratio = two.prefix_ratio()
+        assert 0.0 <= one_ratio <= 1.0
+        assert 0.0 <= two_ratio <= 1.0
+        assert one_ratio + two_ratio <= 1.0

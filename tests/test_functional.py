@@ -1,0 +1,108 @@
+"""Tests for im2col, pooling and normalization primitives."""
+
+import numpy as np
+import pytest
+
+from repro.snn import functional as F
+
+
+def direct_conv2d(images, kernels, stride=1, padding=0):
+    """Obvious nested-loop convolution used as the im2col golden model."""
+    t, c, h, w = images.shape
+    c_out, c_in, kh, kw = kernels.shape
+    assert c == c_in
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (w + 2 * padding - kw) // stride + 1
+    padded = np.zeros((t, c, h + 2 * padding, w + 2 * padding))
+    padded[:, :, padding : padding + h, padding : padding + w] = images
+    out = np.zeros((t, c_out, oh, ow))
+    for ti in range(t):
+        for co in range(c_out):
+            for oy in range(oh):
+                for ox in range(ow):
+                    patch = padded[
+                        ti, :, oy * stride : oy * stride + kh, ox * stride : ox * stride + kw
+                    ]
+                    out[ti, co, oy, ox] = (patch * kernels[co]).sum()
+    return out
+
+
+class TestIm2Col:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 0), (2, 1)])
+    def test_matches_direct_convolution(self, rng, stride, padding):
+        images = (rng.random((2, 3, 8, 8)) < 0.4).astype(np.float64)
+        kernels = rng.normal(size=(5, 3, 3, 3))
+        cols = F.im2col(images, kernel=3, stride=stride, padding=padding)
+        weights = kernels.reshape(5, -1).T  # (C*k*k, C_out)
+        gemm = cols @ weights
+        oh = F.conv_output_size(8, 3, stride, padding)
+        folded = F.fold_gemm_output(gemm, 2, oh, oh)
+        direct = direct_conv2d(images, kernels, stride, padding)
+        np.testing.assert_allclose(folded, direct, atol=1e-10)
+
+    def test_preserves_binary(self, rng):
+        images = rng.random((1, 2, 6, 6)) < 0.3
+        cols = F.im2col(images, kernel=3, padding=1)
+        assert cols.dtype == bool
+
+    def test_row_count(self):
+        images = np.zeros((4, 3, 32, 32), dtype=bool)
+        cols = F.im2col(images, kernel=3, padding=1)
+        assert cols.shape == (4 * 32 * 32, 3 * 9)
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ValueError):
+            F.im2col(np.zeros((3, 8, 8)), 3)
+
+    def test_rejects_oversized_kernel(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(4, 7, 1, 0)
+
+
+class TestPooling:
+    def test_maxpool_is_window_or(self):
+        spikes = np.zeros((1, 1, 4, 4), dtype=bool)
+        spikes[0, 0, 0, 1] = True
+        pooled = F.max_pool_spikes(spikes, 2)
+        assert pooled.shape == (1, 1, 2, 2)
+        assert pooled[0, 0, 0, 0] and not pooled[0, 0, 1, 1]
+
+    def test_maxpool_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            F.max_pool_spikes(np.zeros((1, 1, 5, 4), dtype=bool), 2)
+
+    def test_avgpool_values(self):
+        values = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        pooled = F.avg_pool(values, 2)
+        assert pooled[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_global_avg_pool(self, rng):
+        values = rng.random((2, 3, 4, 4))
+        pooled = F.global_avg_pool(values)
+        assert pooled.shape == (2, 3)
+        assert pooled[0, 0] == pytest.approx(values[0, 0].mean())
+
+
+class TestNorms:
+    def test_batch_norm_stats(self, rng):
+        currents = rng.normal(loc=3.0, scale=2.0, size=(4, 8, 10, 10))
+        mean, std = F.batch_norm_stats(currents, channel_axis=1)
+        assert mean.shape == (8,)
+        assert np.abs(mean - 3.0).max() < 0.5
+
+    def test_batch_norm_zero_std_guard(self):
+        currents = np.ones((2, 3, 4))
+        _, std = F.batch_norm_stats(currents, channel_axis=1)
+        assert (std == 1.0).all()
+
+    def test_layer_norm_zero_mean_unit_std(self, rng):
+        values = rng.normal(size=(5, 64))
+        normed = F.layer_norm(values)
+        np.testing.assert_allclose(normed.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(normed.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_softmax_sums_to_one(self, rng):
+        values = rng.normal(size=(4, 10)) * 50  # large magnitudes: stability
+        probs = F.softmax(values)
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-12)
+        assert (probs >= 0).all()

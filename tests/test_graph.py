@@ -1,0 +1,55 @@
+"""Tests for the full ProSparsity graph."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import build_graph
+from repro.core.spike_matrix import SpikeTile
+
+
+class TestBuildGraph:
+    def test_paper_tile_edges(self, paper_tile):
+        graph = build_graph(paper_tile)
+        cand = graph.prefix_candidates
+        assert cand[2, 3]      # 0010 legal prefix of 1011
+        assert cand[4, 1]      # 1001 legal prefix of 1101
+        assert cand[5, 4]      # EM: smaller index 4 is prefix of 5
+        assert not cand[4, 5]  # EM: larger index 5 is NOT prefix of 4
+
+    def test_empty_rows_excluded(self):
+        tile = SpikeTile(np.array([[0, 0, 0], [1, 1, 0], [1, 0, 0]], dtype=bool))
+        graph = build_graph(tile)
+        assert not graph.prefix_candidates[:, 0].any()
+
+    def test_acyclic(self, paper_tile, random_tile):
+        assert build_graph(paper_tile).is_acyclic()
+        assert build_graph(random_tile).is_acyclic()
+
+    def test_prefix_counts(self, paper_tile):
+        graph = build_graph(paper_tile)
+        counts = graph.prefix_counts()
+        assert counts[3] == 0   # 0010 has no subset among other rows
+        assert counts[2] >= 1   # 1011 can reuse 1010, 0010
+
+    def test_networkx_roundtrip(self, paper_tile):
+        graph = build_graph(paper_tile)
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == paper_tile.m
+        assert nx_graph.number_of_edges() == graph.num_edges()
+
+    def test_edge_direction_prefix_to_suffix(self, paper_tile):
+        nx_graph = build_graph(paper_tile).to_networkx()
+        # EM pair: edge must run 4 -> 5 (prefix to suffix), never 5 -> 4
+        assert nx_graph.has_edge(4, 5)
+        assert not nx_graph.has_edge(5, 4)
+
+    def test_suffix_counts_match_transpose(self, random_tile):
+        graph = build_graph(random_tile)
+        assert (graph.suffix_counts() == graph.prefix_candidates.sum(axis=0)).all()
+
+    def test_all_equal_rows_form_chain_candidates(self):
+        tile = SpikeTile(np.tile(np.array([[1, 0, 1, 0]], dtype=bool), (5, 1)))
+        graph = build_graph(tile)
+        counts = graph.prefix_counts()
+        # row i can use any of rows 0..i-1 as EM prefix
+        assert counts.tolist() == [0, 1, 2, 3, 4]

@@ -1,0 +1,93 @@
+"""Cross-module integration tests: SNN -> trace -> transform -> simulate."""
+
+import numpy as np
+import pytest
+
+from repro.arch.ppu import MODE_BIT, MODE_PROSPERITY, PPU
+from repro.arch.config import ProsperityConfig
+from repro.arch.simulator import ProsperitySimulator
+from repro.baselines import EyerissModel, PTBModel
+from repro.core.prosparsity import execute_gemm, transform_matrix
+from repro.core.reference import dense_spiking_gemm
+from repro.workloads import FIG8_GRID, FIG11_GRID, get_trace
+
+
+class TestWorkloadRegistry:
+    def test_grids_well_formed(self):
+        assert len(FIG8_GRID) == 16
+        assert len(FIG11_GRID) == 16
+        assert len(set(FIG8_GRID)) == 16
+
+    def test_cache_returns_same_object(self):
+        a = get_trace("lenet5", "mnist", preset="small")
+        b = get_trace("lenet5", "mnist", preset="small")
+        assert a is b
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            get_trace("vgg16", "cifar10", preset="huge")
+
+
+class TestEndToEndLossless:
+    """Real SNN layer activations through the full ProSparsity pipeline."""
+
+    def test_vgg_layer_gemm_exact(self, vgg_trace, rng):
+        workload = vgg_trace.workloads[2]
+        weights = rng.integers(-64, 64, size=(workload.k, min(workload.n, 16)))
+        out = execute_gemm(workload.spikes, weights)
+        assert (out == dense_spiking_gemm(workload.spikes.bits, weights)).all()
+
+    def test_functional_ppu_matches_core_on_real_tile(self, vgg_trace, rng):
+        workload = vgg_trace.workloads[1]
+        tile_bits = workload.spikes.bits[:64, :16]
+        config = ProsperityConfig(tile_m=64, tile_k=16, tile_n=8, num_pes=8,
+                                  tcam_entries=64)
+        ppu = PPU(config)
+        weights = rng.normal(size=(16, 8))
+        np.testing.assert_allclose(
+            ppu.process_tile(tile_bits, weights),
+            dense_spiking_gemm(tile_bits, weights),
+            atol=1e-9,
+        )
+
+
+class TestEndToEndPerformance:
+    def test_prosperity_beats_bit_on_real_models(self, vgg_trace):
+        rng = np.random.default_rng(0)
+        pro = ProsperitySimulator(
+            mode=MODE_PROSPERITY, max_tiles_per_workload=24, rng=rng
+        ).simulate(vgg_trace)
+        bit = ProsperitySimulator(
+            mode=MODE_BIT, max_tiles_per_workload=24, rng=rng
+        ).simulate(vgg_trace)
+        assert bit.cycles / pro.cycles > 1.5
+
+    def test_transformer_trace_simulates_everywhere(self, transformer_trace):
+        pro = ProsperitySimulator(
+            max_tiles_per_workload=8, rng=np.random.default_rng(0)
+        ).simulate(transformer_trace)
+        ptb = PTBModel().simulate(transformer_trace)
+        # PTB only runs linear layers (Sec. VII-A), Prosperity runs all.
+        assert len(pro.layers) == len(transformer_trace.workloads)
+        assert len(ptb.layers) < len(transformer_trace.workloads)
+
+    def test_full_stack_speedup_vs_eyeriss(self, vgg_trace):
+        eyeriss = EyerissModel().simulate(vgg_trace)
+        pro = ProsperitySimulator(
+            max_tiles_per_workload=24, rng=np.random.default_rng(0)
+        ).simulate(vgg_trace)
+        assert eyeriss.seconds / pro.seconds > 4.0
+
+
+class TestDensityShapeClaims:
+    def test_density_reduction_in_paper_band(self):
+        """Fig. 11 claim: product density well below bit density, with
+        reductions in the 2-20x band across model families."""
+        for model, dataset in (("vgg9", "cifar10"), ("lenet5", "mnist")):
+            trace = get_trace(model, dataset, preset="small")
+            from repro.analysis.density import trace_prosparsity_stats
+
+            stats = trace_prosparsity_stats(
+                trace, max_tiles=8, rng=np.random.default_rng(0)
+            )
+            assert 1.5 < stats.ops_reduction < 50.0

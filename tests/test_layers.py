@@ -1,0 +1,164 @@
+"""Tests for spiking layers and attention blocks."""
+
+import numpy as np
+import pytest
+
+from repro.snn.layers import (
+    Flatten,
+    MaxPool2d,
+    SpikeDrivenSelfAttention,
+    SpikingConv2d,
+    SpikingLinear,
+    SpikingSelfAttention,
+    TransformerFFN,
+)
+from repro.snn.network import Residual, Sequential
+from repro.snn.trace import WorkloadRecorder, recording
+
+
+class TestSpikingConv2d:
+    def test_output_shape_and_dtype(self, rng):
+        conv = SpikingConv2d(3, 8, kernel=3, padding=1, rng=rng, target_rate=0.3)
+        spikes = rng.random((2, 3, 8, 8)) < 0.4
+        out = conv(spikes)
+        assert out.shape == (2, 8, 8, 8)
+        assert out.dtype == bool
+
+    def test_stride_halves_resolution(self, rng):
+        conv = SpikingConv2d(2, 4, kernel=3, stride=2, padding=1, rng=rng)
+        out = conv(rng.random((2, 2, 8, 8)) < 0.5)
+        assert out.shape == (2, 4, 4, 4)
+
+    def test_records_workload(self, rng):
+        conv = SpikingConv2d(3, 8, kernel=3, padding=1, name="c0", rng=rng)
+        spikes = rng.random((2, 3, 8, 8)) < 0.4
+        recorder = WorkloadRecorder()
+        with recording(recorder):
+            conv(spikes)
+        assert len(recorder.workloads) == 1
+        workload = recorder.workloads[0]
+        assert workload.name == "c0"
+        assert workload.m == 2 * 8 * 8
+        assert workload.k == 3 * 9
+        assert workload.n == 8
+
+    def test_calibration_hits_target_rate(self, rng):
+        conv = SpikingConv2d(
+            3, 16, kernel=3, padding=1, rng=rng, target_rate=0.25, rate_spread=0.0
+        )
+        out = conv(rng.random((4, 3, 16, 16)) < 0.5)
+        assert abs(out.mean() - 0.25) < 0.05
+
+    def test_rejects_wrong_channels(self, rng):
+        conv = SpikingConv2d(3, 8, rng=rng)
+        with pytest.raises(ValueError):
+            conv(np.zeros((2, 4, 8, 8), dtype=bool))
+
+    def test_calibration_is_sticky(self, rng):
+        conv = SpikingConv2d(2, 4, rng=rng)
+        first = rng.random((2, 2, 8, 8)) < 0.5
+        conv(first)
+        threshold = np.array(conv.neuron.v_threshold, copy=True)
+        conv(rng.random((2, 2, 8, 8)) < 0.5)
+        assert (np.asarray(conv.neuron.v_threshold) == threshold).all()
+
+
+class TestSpikingLinear:
+    def test_shape(self, rng):
+        layer = SpikingLinear(32, 16, rng=rng)
+        out = layer(rng.random((4, 10, 32)) < 0.3)
+        assert out.shape == (4, 10, 16)
+        assert out.dtype == bool
+
+    def test_no_fire_returns_float(self, rng):
+        layer = SpikingLinear(16, 4, fire=False, rng=rng)
+        out = layer(rng.random((2, 16)) < 0.3)
+        assert out.dtype == np.float64
+
+    def test_records_flattened_rows(self, rng):
+        layer = SpikingLinear(16, 4, name="fc", rng=rng)
+        recorder = WorkloadRecorder()
+        with recording(recorder):
+            layer(rng.random((4, 10, 16)) < 0.3)
+        assert recorder.workloads[0].m == 40
+
+    def test_no_recording_for_float_input(self, rng):
+        layer = SpikingLinear(16, 4, rng=rng)
+        recorder = WorkloadRecorder()
+        with recording(recorder):
+            layer(rng.random((2, 16)))  # float input: not a spiking GeMM
+        assert recorder.workloads == []
+
+    def test_rejects_wrong_features(self, rng):
+        layer = SpikingLinear(16, 4, rng=rng)
+        with pytest.raises(ValueError):
+            layer(np.zeros((2, 8), dtype=bool))
+
+
+class TestAttention:
+    def test_ssa_output_binary_and_shaped(self, rng):
+        ssa = SpikingSelfAttention(32, heads=4, rng=rng)
+        out = ssa(rng.random((2, 8, 32)) < 0.3)
+        assert out.shape == (2, 8, 32)
+        assert out.dtype == bool
+
+    def test_ssa_records_attention_workloads(self, rng):
+        ssa = SpikingSelfAttention(32, heads=4, rng=rng)
+        recorder = WorkloadRecorder()
+        with recording(recorder):
+            ssa(rng.random((2, 8, 32)) < 0.3)
+        kinds = {w.kind for w in recorder.workloads}
+        assert "attention" in kinds and "linear" in kinds
+        attn = [w for w in recorder.workloads if w.kind == "attention"]
+        # kv + qkv per (timestep, head): 2 * 2 * 4
+        assert len(attn) == 16
+
+    def test_ssa_rejects_indivisible_heads(self, rng):
+        with pytest.raises(ValueError):
+            SpikingSelfAttention(30, heads=4, rng=rng)
+
+    def test_sdsa_no_attention_gemm(self, rng):
+        sdsa = SpikeDrivenSelfAttention(32, heads=4, rng=rng)
+        recorder = WorkloadRecorder()
+        with recording(recorder):
+            out = sdsa(rng.random((2, 8, 32)) < 0.3)
+        assert out.dtype == bool
+        assert all(w.kind == "linear" for w in recorder.workloads)
+
+    def test_ffn_expansion(self, rng):
+        ffn = TransformerFFN(16, ratio=4, rng=rng)
+        recorder = WorkloadRecorder()
+        with recording(recorder):
+            out = ffn(rng.random((2, 4, 16)) < 0.3)
+        assert out.shape == (2, 4, 16)
+        assert recorder.workloads[0].n == 64
+        assert recorder.workloads[1].k == 64
+
+
+class TestContainers:
+    def test_sequential_chains(self, rng):
+        net = Sequential(
+            [
+                SpikingConv2d(1, 4, padding=1, rng=rng),
+                MaxPool2d(2),
+                Flatten(),
+                SpikingLinear(4 * 4 * 4, 10, rng=rng),
+            ]
+        )
+        out = net(rng.random((2, 1, 8, 8)) < 0.5)
+        assert out.shape == (2, 10)
+
+    def test_residual_or_semantics(self, rng):
+        class Zero:
+            def __call__(self, x):
+                return np.zeros_like(x)
+
+        res = Residual(Zero())
+        spikes = rng.random((2, 4)) < 0.5
+        assert (res(spikes) == spikes).all()
+
+    def test_residual_passthrough_on_shape_change(self, rng):
+        layer = SpikingLinear(8, 4, rng=rng)
+        res = Residual(layer)
+        out = res(rng.random((2, 8)) < 0.5)
+        assert out.shape == (2, 4)  # no OR possible; branch result returned

@@ -1,0 +1,124 @@
+"""Tests for the memory system and the 28nm area/energy models."""
+
+import pytest
+
+from repro.arch.config import BufferConfig, DRAMConfig, ProsperityConfig
+from repro.arch.energy import (
+    AreaBreakdown,
+    EnergyModel,
+    area_model,
+    sram_energy_per_byte,
+)
+from repro.arch.memory import Buffer, MemorySystem
+
+
+class TestConfig:
+    def test_defaults_match_table3(self):
+        config = ProsperityConfig()
+        assert config.tile_m == 256 and config.tile_n == 128 and config.tile_k == 16
+        assert config.num_pes == 128
+        assert config.buffers.spike_bytes == 8 * 1024
+        assert config.buffers.weight_bytes == 32 * 1024
+        assert config.buffers.output_bytes == 96 * 1024
+
+    def test_rejects_n_above_pes(self):
+        with pytest.raises(ValueError):
+            ProsperityConfig(tile_n=256, num_pes=128)
+
+    def test_with_tile_updates_tcam(self):
+        config = ProsperityConfig().with_tile(m=512)
+        assert config.tile_m == 512 and config.tcam_entries == 512
+
+    def test_dram_bytes_per_cycle(self):
+        dram = DRAMConfig(bandwidth_bytes_per_s=64e9)
+        assert dram.bytes_per_cycle(500e6) == pytest.approx(128.0)
+
+
+class TestBuffers:
+    def test_overflow_detection(self):
+        buffer = Buffer("test", 1024)
+        buffer.check_fits(1024)
+        with pytest.raises(ValueError):
+            buffer.check_fits(1025)
+
+    def test_table3_tiles_fit_default_buffers(self):
+        MemorySystem(ProsperityConfig()).validate_tiles()
+
+    def test_oversized_tile_rejected(self):
+        config = ProsperityConfig(
+            tile_m=1024, tile_k=64,
+            buffers=BufferConfig(spike_bytes=1024),
+            tcam_entries=1024,
+        )
+        with pytest.raises(ValueError):
+            MemorySystem(config).validate_tiles()
+
+    def test_access_counters(self):
+        buffer = Buffer("b", 128)
+        buffer.read(10)
+        buffer.write(6)
+        assert buffer.reads_bytes == 10 and buffer.writes_bytes == 6
+
+
+class TestTraffic:
+    def test_weight_reload_per_m_tile(self):
+        memory = MemorySystem(ProsperityConfig())
+        single = memory.workload_traffic(256, 512, 128)
+        double = memory.workload_traffic(512, 512, 128)
+        assert double.weight_bytes == pytest.approx(2 * single.weight_bytes)
+
+    def test_spike_traffic_is_bit_packed(self):
+        memory = MemorySystem(ProsperityConfig())
+        traffic = memory.workload_traffic(256, 512, 128)
+        assert traffic.spike_bytes == pytest.approx(256 * 512 / 8)
+
+    def test_dram_cycles_scale_with_traffic(self):
+        memory = MemorySystem(ProsperityConfig())
+        small = memory.dram_cycles(memory.workload_traffic(256, 256, 128))
+        large = memory.dram_cycles(memory.workload_traffic(2560, 256, 128))
+        assert large > small
+
+
+class TestAreaModel:
+    def test_total_close_to_paper(self):
+        """Fig. 10a: 0.529 mm^2 total."""
+        breakdown = area_model(ProsperityConfig())
+        assert breakdown.total == pytest.approx(0.529, rel=0.1)
+
+    def test_component_proportions(self):
+        """Buffers dominate; Dispatcher is the largest logic block."""
+        breakdown = area_model(ProsperityConfig())
+        assert breakdown.buffers > 0.5 * breakdown.total * 0.9
+        logic = [breakdown.detector, breakdown.pruner, breakdown.processor]
+        assert breakdown.dispatcher > max(breakdown.detector, breakdown.pruner)
+        assert all(a > 0 for a in logic)
+
+    def test_area_grows_superlinearly_in_m(self):
+        """Fig. 7: TCAM + sorter area grows super-linearly with tile m."""
+        base = area_model(ProsperityConfig()).total
+        doubled = area_model(ProsperityConfig().with_tile(m=512)).total
+        quadrupled = area_model(ProsperityConfig().with_tile(m=1024)).total
+        assert (quadrupled - doubled) > (doubled - base)
+
+    def test_as_dict_keys(self):
+        breakdown = area_model(ProsperityConfig())
+        assert set(breakdown.as_dict()) == {
+            "detector", "pruner", "dispatcher", "processor",
+            "neuron_sfu", "buffers", "other",
+        }
+
+
+class TestEnergyModel:
+    def test_sram_energy_grows_with_capacity(self):
+        assert sram_energy_per_byte(96 * 1024) > sram_energy_per_byte(8 * 1024)
+
+    def test_tcam_search_energy_scales_with_entries(self):
+        small = EnergyModel(ProsperityConfig())
+        large = EnergyModel(ProsperityConfig().with_tile(m=512))
+        assert large.tcam_search() == pytest.approx(2 * small.tcam_search())
+
+    def test_static_energy_linear_in_cycles(self):
+        model = EnergyModel(ProsperityConfig())
+        assert model.static_energy_pj(2000) == pytest.approx(
+            2 * model.static_energy_pj(1000)
+        )

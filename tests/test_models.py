@@ -1,0 +1,82 @@
+"""Tests for the SNN model zoo (small presets)."""
+
+import numpy as np
+import pytest
+
+from repro.snn.models import MODEL_BUILDERS, TRANSFORMER_MODELS, build_model
+from repro.workloads import get_trace
+
+
+class TestRegistry:
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("mobilenet", "cifar10")
+
+    def test_all_models_registered(self):
+        expected = {
+            "vgg16", "vgg9", "resnet18", "resnet19", "lenet5", "alexnet",
+            "spikformer", "sdt", "spikebert", "spikingbert",
+        }
+        assert set(MODEL_BUILDERS) == expected
+
+
+class TestCNNTraces:
+    @pytest.mark.parametrize("name", ["vgg9", "resnet18", "lenet5", "alexnet"])
+    def test_trace_produces_binary_workloads(self, name):
+        dataset = "mnist" if name == "lenet5" else "cifar10"
+        trace = get_trace(name, dataset, preset="small")
+        assert len(trace) > 0
+        for workload in trace.workloads:
+            assert workload.spikes.bits.dtype == bool
+            assert workload.n > 0
+            assert 0.0 <= workload.bit_density <= 1.0
+
+    def test_vgg16_layer_count(self, vgg_trace):
+        # 13 convs + 2 linear layers
+        assert len(vgg_trace) == 15
+
+    def test_vgg16_rate_profile_declines(self, vgg_trace):
+        convs = [w for w in vgg_trace.workloads if w.name.startswith("conv")]
+        early = np.mean([w.bit_density for w in convs[:3]])
+        late = np.mean([w.bit_density for w in convs[-3:]])
+        assert late < early
+
+    def test_resnet_has_shortcut_workloads(self):
+        trace = get_trace("resnet18", "cifar10", preset="small")
+        assert any("shortcut" in w.name for w in trace.workloads)
+
+
+class TestTransformerTraces:
+    def test_spikformer_has_attention(self, transformer_trace):
+        kinds = {w.kind for w in transformer_trace.workloads}
+        assert kinds == {"conv", "linear", "attention"}
+
+    def test_sdt_has_no_attention_gemm(self):
+        trace = get_trace("sdt", "cifar10", preset="small")
+        assert all(w.kind != "attention" for w in trace.workloads)
+
+    def test_spikebert_rows_are_time_by_tokens(self):
+        trace = get_trace("spikebert", "sst2", preset="small")
+        linear = [w for w in trace.workloads if w.kind == "linear"]
+        assert all(w.m == 4 * 64 for w in linear)  # T=4, L=64
+
+    def test_dvs_dataset_runs(self):
+        trace = get_trace("sdt", "cifar10dvs", preset="small")
+        assert len(trace) > 0
+
+    def test_transformer_set(self):
+        assert TRANSFORMER_MODELS == {"spikformer", "sdt", "spikebert", "spikingbert"}
+
+
+class TestDensityCalibration:
+    @pytest.mark.parametrize(
+        "name,dataset,lo,hi",
+        [
+            ("vgg16", "cifar10", 0.10, 0.50),
+            ("resnet18", "cifar10", 0.03, 0.35),
+            ("spikebert", "sst2", 0.05, 0.40),
+        ],
+    )
+    def test_overall_density_in_plausible_band(self, name, dataset, lo, hi):
+        trace = get_trace(name, dataset, preset="small")
+        assert lo <= trace.bit_density <= hi

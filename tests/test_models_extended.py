@@ -1,0 +1,79 @@
+"""Extended model-zoo coverage: DVS variants, deep models, invariants."""
+
+import numpy as np
+import pytest
+
+from repro.snn.models import build_model
+from repro.workloads import get_trace
+
+
+class TestDVSVariants:
+    @pytest.mark.parametrize("name", ["spikformer", "sdt"])
+    def test_dvs_uses_eight_steps(self, name):
+        trace = get_trace(name, "cifar10dvs", preset="small")
+        convs = [w for w in trace.workloads if w.kind == "conv"]
+        assert convs and all(w.time_steps == 8 for w in convs)
+
+    def test_dvs_two_polarity_channels(self):
+        rng = np.random.default_rng(0)
+        model = build_model("spikformer", "cifar10dvs", rng=rng,
+                            dim=64, depth=1, heads=2)
+        x = model.build_input(rng)
+        assert x.shape[1] == 2  # on/off polarities
+        assert x.dtype == bool
+
+
+class TestDeepModels:
+    def test_resnet19_has_more_blocks_than_resnet18(self):
+        t18 = get_trace("resnet18", "cifar10", preset="small")
+        t19 = get_trace("resnet19", "cifar10", preset="small")
+        assert len(t19) > len(t18)
+
+    def test_spikebert_depth_scales_workloads(self):
+        rng = np.random.default_rng(0)
+        shallow = build_model("spikebert", "sst2", rng=rng,
+                              dim=96, depth=1, heads=2).trace(np.random.default_rng(1))
+        rng = np.random.default_rng(0)
+        deep = build_model("spikebert", "sst2", rng=rng,
+                           dim=96, depth=3, heads=2).trace(np.random.default_rng(1))
+        assert len(deep) == pytest.approx(3 * len(shallow), abs=2)
+
+    def test_alexnet_trace_shapes(self):
+        trace = get_trace("alexnet", "cifar10", preset="small")
+        # 5 convs + 2 linear layers
+        assert len(trace) == 7
+        head = trace.workloads[-1]
+        assert head.n == 10  # cifar10 classes
+
+
+class TestTraceInvariants:
+    @pytest.mark.parametrize(
+        "name,dataset",
+        [("vgg9", "cifar10"), ("spikformer", "cifar10"), ("sdt", "cifar10dvs")],
+    )
+    def test_gemm_dimensions_consistent(self, name, dataset):
+        """K of each GeMM equals the producing layer's fan-in."""
+        trace = get_trace(name, dataset, preset="small")
+        for workload in trace.workloads:
+            assert workload.m > 0 and workload.k > 0 and workload.n > 0
+            assert workload.spikes.shape == (workload.m, workload.k)
+
+    def test_conv_rows_are_time_by_spatial(self, vgg_trace):
+        first = vgg_trace.workloads[0]
+        # 4 steps x 32 x 32 positions for the stem conv on CIFAR input.
+        assert first.m == 4 * 32 * 32
+
+    def test_attention_workloads_are_square_ish(self, transformer_trace):
+        for workload in transformer_trace.workloads:
+            if workload.kind != "attention":
+                continue
+            # kv: (head_dim, L); qkv: (L, head_dim) — both bounded by L=64.
+            assert workload.m <= 64 and workload.k <= 64
+
+    def test_densities_strictly_between_zero_and_one(self, transformer_trace):
+        for workload in transformer_trace.workloads:
+            assert 0.0 <= workload.bit_density < 1.0
+
+    def test_no_empty_workloads(self, vgg_trace, transformer_trace):
+        for trace in (vgg_trace, transformer_trace):
+            assert all(w.spikes.bits.size > 0 for w in trace.workloads)

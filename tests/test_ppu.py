@@ -1,0 +1,120 @@
+"""Tests for the PPU functional model and per-tile cycle model."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import ProsperityConfig
+from repro.arch.ppu import (
+    MODE_BIT,
+    MODE_DENSE,
+    MODE_PROSPARSITY_SLOW,
+    MODE_PROSPERITY,
+    PPU,
+    compute_phase_cycles,
+    dispatch_overhead_cycles,
+    pipeline_tile_cycles,
+    prosparsity_phase_cycles,
+)
+from repro.core.prosparsity import transform_matrix
+from repro.core.reference import dense_spiking_gemm
+from repro.core.spike_matrix import random_spike_matrix
+
+
+@pytest.fixture
+def small_config():
+    return ProsperityConfig(tile_m=64, tile_k=16, tile_n=32, num_pes=32,
+                            tcam_entries=64)
+
+
+class TestFunctionalPPU:
+    def test_bit_exact_against_dense(self, rng, small_config):
+        ppu = PPU(small_config)
+        tile = (rng.random((64, 16)) < 0.3)
+        weights = rng.normal(size=(16, 32))
+        out = ppu.process_tile(tile, weights)
+        np.testing.assert_allclose(out, dense_spiking_gemm(tile, weights), atol=1e-9)
+
+    def test_paper_tile_bit_exact(self, paper_tile, rng):
+        config = ProsperityConfig(tile_m=8, tile_k=4, tile_n=4, num_pes=4,
+                                  tcam_entries=8)
+        ppu = PPU(config)
+        weights = rng.normal(size=(4, 4))
+        out = ppu.process_tile(paper_tile.bits, weights)
+        np.testing.assert_allclose(
+            out, dense_spiking_gemm(paper_tile.bits, weights), atol=1e-9
+        )
+
+    def test_rejects_weight_mismatch(self, rng, small_config):
+        ppu = PPU(small_config)
+        with pytest.raises(ValueError):
+            ppu.process_tile(rng.random((8, 16)) < 0.5, rng.normal(size=(8, 4)))
+
+
+class TestCycleModel:
+    def _records(self, rng, density=0.3, rows=512, cols=64):
+        matrix = random_spike_matrix(rows, cols, density, rng)
+        return transform_matrix(matrix, 256, 16, keep_transforms=False).tile_records
+
+    def test_prosparsity_phase_is_m_plus_depth(self, rng):
+        config = ProsperityConfig()
+        records = self._records(rng)
+        phases = prosparsity_phase_cycles(config, records[:, 0])
+        assert (phases == records[:, 0] + config.prosparsity_pipeline_depth).all()
+
+    def test_mode_ordering(self, rng):
+        """dense >= bit >= prosperity compute cycles, always."""
+        config = ProsperityConfig()
+        records = self._records(rng)
+        dense = compute_phase_cycles(config, records, 128, MODE_DENSE)
+        bit = compute_phase_cycles(config, records, 128, MODE_BIT)
+        pro = compute_phase_cycles(config, records, 128, MODE_PROSPERITY)
+        assert (dense >= bit).all()
+        assert (bit >= pro).all()
+
+    def test_n_tiling_multiplies_compute(self, rng):
+        config = ProsperityConfig()
+        records = self._records(rng)
+        once = compute_phase_cycles(config, records, 128, MODE_PROSPERITY)
+        twice = compute_phase_cycles(config, records, 256, MODE_PROSPERITY)
+        assert (twice == 2 * once).all()
+
+    def test_pipeline_overlap_hides_phases(self, rng):
+        """With compute-dominant tiles, exposed overhead ~ first tile only."""
+        config = ProsperityConfig()
+        records = self._records(rng, density=0.5, rows=2048, cols=128)
+        total, compute, exposed = pipeline_tile_cycles(
+            config, records, 512, MODE_PROSPERITY
+        )
+        assert total == pytest.approx(compute + exposed)
+        assert exposed < 0.05 * compute  # almost fully overlapped
+
+    def test_slow_dispatch_slower(self, rng):
+        config = ProsperityConfig()
+        records = self._records(rng, rows=2048)
+        fast, _, _ = pipeline_tile_cycles(config, records, 128, MODE_PROSPERITY)
+        slow, _, _ = pipeline_tile_cycles(config, records, 128, MODE_PROSPARSITY_SLOW)
+        assert slow > fast
+
+    def test_dispatch_overhead_positive(self, rng):
+        records = self._records(rng)
+        assert (dispatch_overhead_cycles(records) > 0).all()
+
+    def test_empty_records(self):
+        config = ProsperityConfig()
+        empty = np.zeros((0, 9), dtype=np.int64)
+        assert pipeline_tile_cycles(config, empty, 128) == (0.0, 0.0, 0.0)
+
+    def test_unknown_mode_raises(self, rng):
+        config = ProsperityConfig()
+        records = self._records(rng)
+        with pytest.raises(ValueError):
+            compute_phase_cycles(config, records, 128, "warp_speed")
+
+    def test_em_rows_still_cost_one_cycle(self):
+        """Sec. VII-F: EM has 100% sparsity but still takes one cycle."""
+        config = ProsperityConfig(tile_m=8, tile_k=4, tcam_entries=8)
+        bits = np.tile(np.array([[1, 0, 1, 0]], dtype=bool), (8, 1))
+        records = transform_matrix(bits, 8, 4, keep_transforms=False).tile_records
+        compute = compute_phase_cycles(config, records, 32, MODE_PROSPERITY)
+        # 2 residual spikes (first row) + 7 EM rows x 1 cycle + depth.
+        assert compute[0] == 2 + 7 + config.processor_pipeline_depth

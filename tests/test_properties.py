@@ -1,0 +1,119 @@
+"""Property-based (hypothesis) tests of the core ProSparsity invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.dispatch import build_dispatch_plan
+from repro.core.forest import NO_PREFIX, build_forest
+from repro.core.prosparsity import execute_gemm, transform_matrix
+from repro.core.reference import (
+    dense_spiking_gemm,
+    reference_prefixes,
+    reference_product_nnz,
+)
+from repro.core.spike_matrix import SpikeMatrix, SpikeTile
+
+spike_tiles = hnp.arrays(
+    dtype=bool,
+    shape=st.tuples(st.integers(1, 48), st.integers(1, 24)),
+)
+
+settings_kwargs = dict(max_examples=40, deadline=None)
+
+
+@given(spike_tiles)
+@settings(**settings_kwargs)
+def test_prefix_selection_matches_reference(bits):
+    forest = build_forest(SpikeTile(bits))
+    assert (forest.prefix == reference_prefixes(bits)).all()
+
+
+@given(spike_tiles)
+@settings(**settings_kwargs)
+def test_product_nnz_matches_reference(bits):
+    forest = build_forest(SpikeTile(bits))
+    assert forest.product_nnz() == reference_product_nnz(bits)
+
+
+@given(spike_tiles)
+@settings(**settings_kwargs)
+def test_prefix_is_subset_of_row(bits):
+    tile = SpikeTile(bits)
+    forest = build_forest(tile)
+    for row in range(tile.m):
+        pre = forest.prefix[row]
+        if pre != NO_PREFIX:
+            assert not (bits[pre] & ~bits[row]).any()
+
+
+@given(spike_tiles)
+@settings(**settings_kwargs)
+def test_pattern_plus_prefix_reconstructs_row(bits):
+    tile = SpikeTile(bits)
+    forest = build_forest(tile)
+    for row in range(tile.m):
+        pre = forest.prefix[row]
+        reconstructed = forest.pattern[row].copy()
+        if pre != NO_PREFIX:
+            reconstructed |= bits[pre]
+        assert (reconstructed == bits[row]).all()
+
+
+@given(spike_tiles)
+@settings(**settings_kwargs)
+def test_forest_is_acyclic(bits):
+    assert build_forest(SpikeTile(bits)).verify_acyclic()
+
+
+@given(spike_tiles)
+@settings(**settings_kwargs)
+def test_dispatch_order_topological(bits):
+    forest = build_forest(SpikeTile(bits))
+    plan = build_dispatch_plan(forest)
+    assert plan.verify_topological(forest)
+
+
+@given(spike_tiles)
+@settings(**settings_kwargs)
+def test_product_density_never_exceeds_bit_density(bits):
+    result = transform_matrix(bits, 16, 8, keep_transforms=False)
+    assert result.stats.product_nnz <= result.stats.bit_nnz
+
+
+@given(
+    hnp.arrays(dtype=bool, shape=st.tuples(st.integers(1, 40), st.integers(1, 20))),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_gemm_lossless_integer_weights(bits, seed):
+    """The flagship invariant: ProSparsity GeMM == dense GeMM exactly."""
+    rng = np.random.default_rng(seed)
+    weights = rng.integers(-16, 16, size=(bits.shape[1], 6))
+    out = execute_gemm(SpikeMatrix(bits), weights, tile_m=16, tile_k=8)
+    assert (out == dense_spiking_gemm(bits, weights)).all()
+
+
+@given(spike_tiles, st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_tiling_invariance_of_losslessness(bits, divisor):
+    """Any tile size must give the same (exact) GeMM result."""
+    rng = np.random.default_rng(99)
+    weights = rng.integers(-8, 8, size=(bits.shape[1], 3))
+    tile_m = max(1, bits.shape[0] // divisor)
+    tile_k = max(1, bits.shape[1] // divisor)
+    out = execute_gemm(SpikeMatrix(bits), weights, tile_m=tile_m, tile_k=tile_k)
+    assert (out == dense_spiking_gemm(bits, weights)).all()
+
+
+@given(spike_tiles)
+@settings(**settings_kwargs)
+def test_em_rows_have_zero_residual_and_nonzero_popcount(bits):
+    tile = SpikeTile(bits)
+    forest = build_forest(tile)
+    residual = forest.residual_ops()
+    for row in forest.exact_match_rows():
+        assert residual[row] == 0
+        assert forest.popcounts[row] > 0
+        assert (bits[row] == bits[forest.prefix[row]]).all()

@@ -1,0 +1,92 @@
+"""Tests for EM/PM/intersection relation detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.relations import (
+    Relation,
+    classify_pair,
+    exact_match_matrix,
+    subset_relation_matrix,
+    summarize_relations,
+)
+from repro.core.spike_matrix import SpikeTile
+
+
+class TestClassifyPair:
+    def test_exact_match(self):
+        row = np.array([1, 1, 0, 1], dtype=bool)
+        assert classify_pair(row, row.copy()) == Relation.EXACT_MATCH
+
+    def test_partial_match_direction(self):
+        big = np.array([1, 1, 0, 1], dtype=bool)
+        small = np.array([1, 0, 0, 1], dtype=bool)
+        # small is a proper subset of big -> PM seen from big
+        assert classify_pair(big, small) == Relation.PARTIAL_MATCH
+        assert classify_pair(small, big) == Relation.INTERSECTION
+
+    def test_intersection(self):
+        a = np.array([1, 1, 0, 0], dtype=bool)
+        b = np.array([0, 1, 1, 0], dtype=bool)
+        assert classify_pair(a, b) == Relation.INTERSECTION
+
+    def test_disjoint(self):
+        a = np.array([1, 0, 0, 0], dtype=bool)
+        b = np.array([0, 1, 0, 0], dtype=bool)
+        assert classify_pair(a, b) == Relation.NONE
+
+    def test_paper_example(self):
+        # Fig. 2c: Row 1 (1001) is a proper subset of Row 4 (1101).
+        row4 = np.array([1, 1, 0, 1], dtype=bool)
+        row1 = np.array([1, 0, 0, 1], dtype=bool)
+        assert classify_pair(row4, row1) == Relation.PARTIAL_MATCH
+
+    def test_rejects_mismatched_length(self):
+        with pytest.raises(ValueError):
+            classify_pair(np.ones(3, dtype=bool), np.ones(4, dtype=bool))
+
+
+class TestSubsetRelationMatrix:
+    def test_paper_tile(self, paper_tile):
+        subset = subset_relation_matrix(paper_tile)
+        assert subset[2, 3]      # 0010 ⊆ 1011
+        assert subset[4, 1]      # 1001 ⊆ 1101
+        assert subset[5, 4] and subset[4, 5]  # EM pair both directions
+        assert not subset[0, 1]  # 1001 ⊄ 1010
+
+    def test_diagonal_false(self, paper_tile):
+        subset = subset_relation_matrix(paper_tile)
+        assert not subset.diagonal().any()
+
+    def test_empty_rows_never_subsets(self):
+        tile = SpikeTile(np.array([[0, 0], [1, 1]], dtype=bool))
+        subset = subset_relation_matrix(tile)
+        assert not subset[:, 0].any()  # empty row excluded as prefix
+
+
+class TestExactMatchMatrix:
+    def test_symmetric(self, paper_tile):
+        em = exact_match_matrix(paper_tile)
+        assert (em == em.T).all()
+
+    def test_only_identical_rows(self, paper_tile):
+        em = exact_match_matrix(paper_tile)
+        pairs = set(zip(*np.nonzero(em)))
+        assert pairs == {(4, 5), (5, 4)}
+
+
+class TestSummarize:
+    def test_counts_sum_to_pairs(self, paper_tile):
+        summary = summarize_relations(paper_tile)
+        m = paper_tile.m
+        assert summary.total_pairs == m * (m - 1) // 2
+
+    def test_paper_tile_has_em(self, paper_tile):
+        summary = summarize_relations(paper_tile)
+        assert summary.exact_match == 1  # rows 4/5
+
+    def test_all_identical(self):
+        tile = SpikeTile(np.tile(np.array([[1, 0, 1]], dtype=bool), (4, 1)))
+        summary = summarize_relations(tile)
+        assert summary.exact_match == 6  # C(4,2)
+        assert summary.partial_match == 0

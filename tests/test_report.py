@@ -1,0 +1,89 @@
+"""Tests for SimReport / LayerResult containers and derived metrics."""
+
+import pytest
+
+from repro.arch.report import (
+    LayerResult,
+    SimReport,
+    energy_efficiency_gain,
+    geometric_mean,
+    speedup,
+)
+
+
+def _layer(name="l", cycles=1000.0, macs=10_000, energy=None):
+    return LayerResult(
+        name=name,
+        cycles=cycles,
+        dense_macs=macs,
+        energy_pj=energy if energy is not None else {"compute": 500.0, "dram": 500.0},
+    )
+
+
+def _report(layers, freq=500e6):
+    report = SimReport(
+        accelerator="x", model="m", dataset="d", frequency_hz=freq
+    )
+    report.layers.extend(layers)
+    return report
+
+
+class TestLayerResult:
+    def test_total_energy(self):
+        layer = _layer(energy={"a": 1.0, "b": 2.0})
+        assert layer.total_energy_pj == 3.0
+
+    def test_defaults(self):
+        layer = LayerResult(name="x", cycles=10)
+        assert layer.total_energy_pj == 0.0
+        assert layer.dense_macs == 0
+
+
+class TestSimReport:
+    def test_cycles_and_seconds(self):
+        report = _report([_layer(cycles=250e6), _layer(cycles=250e6)])
+        assert report.cycles == 500e6
+        assert report.seconds == pytest.approx(1.0)
+
+    def test_energy_conversions(self):
+        report = _report([_layer(energy={"a": 1e12})])  # 1 J
+        assert report.energy_j == pytest.approx(1.0)
+        assert report.avg_power_w == pytest.approx(1.0 / report.seconds)
+
+    def test_breakdown_merges_layers(self):
+        report = _report(
+            [_layer(energy={"a": 1.0, "b": 2.0}), _layer(energy={"a": 3.0})]
+        )
+        assert report.energy_breakdown_pj == {"a": 4.0, "b": 2.0}
+
+    def test_throughput_definition(self):
+        # 1e6 MACs in 1 ms -> 2e9 OPS -> 2 GOP/s at op_per_mac=2.
+        report = _report([_layer(cycles=500e3, macs=1_000_000)])
+        assert report.throughput_gops() == pytest.approx(2.0)
+        assert report.throughput_gops(op_per_mac=1) == pytest.approx(1.0)
+
+    def test_energy_efficiency_definition(self):
+        report = _report([_layer(macs=1_000_000, energy={"e": 1e12})])  # 1 J
+        assert report.energy_efficiency_gops_per_j() == pytest.approx(2e-3)
+
+    def test_empty_report_safe(self):
+        report = _report([])
+        assert report.seconds == 0
+        assert report.throughput_gops() == 0.0
+        assert report.energy_efficiency_gops_per_j() == 0.0
+        assert report.avg_power_w == 0.0
+
+
+class TestComparisons:
+    def test_speedup(self):
+        slow = _report([_layer(cycles=1000)])
+        fast = _report([_layer(cycles=100)])
+        assert speedup(slow, fast) == pytest.approx(10.0)
+
+    def test_energy_gain(self):
+        costly = _report([_layer(energy={"e": 100.0})])
+        frugal = _report([_layer(energy={"e": 10.0})])
+        assert energy_efficiency_gain(costly, frugal) == pytest.approx(10.0)
+
+    def test_geomean_ignores_nonpositive(self):
+        assert geometric_mean([1.0, 4.0, 0.0, -2.0]) == pytest.approx(2.0)

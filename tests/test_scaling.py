@@ -1,0 +1,84 @@
+"""Tests for the Sec. VIII-A scalability models."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import ProsperityConfig
+from repro.arch.ppu import MODE_PROSPERITY, compute_phase_cycles
+from repro.arch.scaling import (
+    intra_ppu_tile_cycles,
+    multi_ppu_workload_cycles,
+    scaling_study,
+)
+from repro.core.prosparsity import transform_matrix
+from repro.core.spike_matrix import random_spike_matrix
+
+
+@pytest.fixture(scope="module")
+def records():
+    rng = np.random.default_rng(9)
+    matrix = random_spike_matrix(2048, 64, 0.3, rng, row_correlation=0.3)
+    return transform_matrix(matrix, 256, 16, keep_transforms=False).tile_records
+
+
+class TestIntraPPU:
+    def test_width_one_matches_base(self, records):
+        config = ProsperityConfig()
+        base = compute_phase_cycles(config, records, 128, MODE_PROSPERITY)
+        scaled = intra_ppu_tile_cycles(config, records, 128, issue_width=1)
+        assert (scaled >= base).all()  # critical path can only add
+
+    def test_wider_issue_never_slower(self, records):
+        config = ProsperityConfig()
+        w2 = intra_ppu_tile_cycles(config, records, 128, issue_width=2)
+        w4 = intra_ppu_tile_cycles(config, records, 128, issue_width=4)
+        assert (w4 <= w2).all()
+
+    def test_critical_path_limits_speedup(self, records):
+        """Issue width 64 cannot beat the forest's dependency chains."""
+        config = ProsperityConfig()
+        wide = intra_ppu_tile_cycles(config, records, 128, issue_width=64)
+        depth = records[:, 8]
+        assert (wide >= depth).all()
+
+    def test_rejects_bad_width(self, records):
+        with pytest.raises(ValueError):
+            intra_ppu_tile_cycles(ProsperityConfig(), records, 128, issue_width=0)
+
+
+class TestInterPPU:
+    def test_more_ppus_never_slower(self, records):
+        config = ProsperityConfig()
+        one = multi_ppu_workload_cycles(config, records, 128, num_ppus=1)
+        four = multi_ppu_workload_cycles(config, records, 128, num_ppus=4)
+        assert four <= one
+
+    def test_speedup_bounded_by_ppu_count(self, records):
+        config = ProsperityConfig()
+        one = multi_ppu_workload_cycles(config, records, 128, num_ppus=1)
+        four = multi_ppu_workload_cycles(config, records, 128, num_ppus=4)
+        assert one / four <= 4.0 + 1e-9
+
+    def test_empty_records(self):
+        config = ProsperityConfig()
+        empty = np.zeros((0, 9), dtype=np.int64)
+        assert multi_ppu_workload_cycles(config, empty, 128, 4) == 0.0
+
+    def test_rejects_zero_ppus(self, records):
+        with pytest.raises(ValueError):
+            multi_ppu_workload_cycles(ProsperityConfig(), records, 128, 0)
+
+
+class TestScalingStudy:
+    def test_grid_shape_and_monotonicity(self, vgg_trace):
+        points = scaling_study(
+            vgg_trace, ppu_counts=(1, 4), issue_widths=(1, 2),
+            max_tiles=8, rng=np.random.default_rng(0),
+        )
+        assert len(points) == 4
+        baseline = next(p for p in points if p.num_ppus == 1 and p.issue_width == 1)
+        assert baseline.speedup == pytest.approx(1.0)
+        best = max(points, key=lambda p: p.speedup)
+        assert best.speedup > 1.5
+        # Efficiency degrades with scale (imbalance + critical path).
+        assert all(p.efficiency <= 1.0 + 1e-9 for p in points)

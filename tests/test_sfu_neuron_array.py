@@ -1,0 +1,44 @@
+"""Tests for the Spiking Neuron Array and Special Function Unit models."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import ProsperityConfig
+from repro.arch.neuron_array import NeuronArray
+from repro.arch.sfu import SFU
+
+
+class TestNeuronArray:
+    def test_throughput_32_per_cycle(self):
+        array = NeuronArray(ProsperityConfig())
+        assert array.cells == 32
+        assert array.cycles(3200) == pytest.approx(100.0)
+
+    def test_fire_binary(self, rng):
+        array = NeuronArray(ProsperityConfig())
+        spikes = array.fire(rng.normal(size=(4, 16)) * 3)
+        assert spikes.dtype == bool
+
+    def test_fire_respects_threshold(self):
+        array = NeuronArray(ProsperityConfig())
+        currents = np.array([[0.2, 5.0]])
+        spikes = array.fire(currents, threshold=1.0)
+        assert not spikes[0, 0] and spikes[0, 1]
+
+
+class TestSFU:
+    def test_softmax_cycles_scale(self):
+        sfu = SFU(ProsperityConfig())
+        assert sfu.softmax_cycles(10, 10) < sfu.softmax_cycles(20, 10)
+
+    def test_layer_norm_cycles_positive(self):
+        sfu = SFU(ProsperityConfig())
+        assert sfu.layer_norm_cycles(64, 384) > 0
+
+    def test_softmax_reference_rows_sum_to_one(self, rng):
+        probs = SFU.softmax_reference(rng.normal(size=(5, 7)))
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0)
+
+    def test_layer_norm_reference_normalizes(self, rng):
+        normed = SFU.layer_norm_reference(rng.normal(loc=5.0, size=(4, 32)))
+        np.testing.assert_allclose(normed.mean(axis=-1), 0.0, atol=1e-9)

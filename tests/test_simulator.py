@@ -1,0 +1,134 @@
+"""Tests for the end-to-end Prosperity simulator."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import ProsperityConfig
+from repro.arch.ppu import MODE_BIT, MODE_DENSE, MODE_PROSPARSITY_SLOW, MODE_PROSPERITY
+from repro.arch.report import geometric_mean, speedup
+from repro.arch.simulator import ProsperitySimulator
+from repro.core.spike_matrix import SpikeMatrix
+from repro.snn.trace import GeMMWorkload, ModelTrace
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    rng = np.random.default_rng(3)
+    workloads = [
+        GeMMWorkload(
+            name=f"layer{i}",
+            spikes=SpikeMatrix(rng.random((512, 128)) < 0.25),
+            n=128,
+            time_steps=4,
+        )
+        for i in range(3)
+    ]
+    return ModelTrace(model="toy", dataset="synthetic", workloads=workloads)
+
+
+class TestSimulatorModes:
+    def test_mode_speedup_ladder(self, small_trace):
+        """Fig. 9 ordering: dense < bit < slow-dispatch < prosperity."""
+        cycles = {}
+        for mode in (MODE_DENSE, MODE_BIT, MODE_PROSPARSITY_SLOW, MODE_PROSPERITY):
+            sim = ProsperitySimulator(mode=mode)
+            cycles[mode] = sim.simulate(small_trace).cycles
+        assert cycles[MODE_DENSE] > cycles[MODE_BIT]
+        assert cycles[MODE_BIT] > cycles[MODE_PROSPARSITY_SLOW]
+        assert cycles[MODE_PROSPARSITY_SLOW] > cycles[MODE_PROSPERITY]
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ProsperitySimulator(mode="quantum")
+
+    def test_report_metadata(self, small_trace):
+        report = ProsperitySimulator().simulate(small_trace)
+        assert report.accelerator == "prosperity"
+        assert report.model == "toy"
+        assert len(report.layers) == 3
+
+    def test_energy_components_present(self, small_trace):
+        report = ProsperitySimulator().simulate(small_trace)
+        breakdown = report.energy_breakdown_pj
+        for key in ("detector", "pruner", "dispatcher", "processor",
+                    "buffers", "neuron_sfu", "dram", "static"):
+            assert breakdown[key] > 0, key
+
+    def test_bit_mode_skips_frontend_energy(self, small_trace):
+        report = ProsperitySimulator(mode=MODE_BIT).simulate(small_trace)
+        breakdown = report.energy_breakdown_pj
+        assert breakdown["detector"] == 0
+        assert breakdown["dispatcher"] == 0
+
+    def test_sampling_approximates_full(self, small_trace):
+        full = ProsperitySimulator().simulate(small_trace)
+        sampled = ProsperitySimulator(
+            max_tiles_per_workload=8, rng=np.random.default_rng(0)
+        ).simulate(small_trace)
+        assert sampled.cycles == pytest.approx(full.cycles, rel=0.3)
+        assert sampled.energy_pj == pytest.approx(full.energy_pj, rel=0.3)
+
+    def test_custom_tile_config(self, small_trace):
+        config = ProsperityConfig(tile_m=128, tcam_entries=128)
+        report = ProsperitySimulator(config=config).simulate(small_trace)
+        assert report.cycles > 0
+
+    def test_area_property(self):
+        assert ProsperitySimulator().area_mm2 == pytest.approx(0.529, rel=0.1)
+
+
+class TestLatencyBehaviour:
+    def test_denser_spikes_slower(self):
+        rng = np.random.default_rng(5)
+
+        def trace_at(density):
+            w = GeMMWorkload(
+                "w", SpikeMatrix(rng.random((512, 128)) < density), 128, time_steps=4
+            )
+            return ModelTrace("t", "d", [w])
+
+        sparse = ProsperitySimulator().simulate(trace_at(0.1))
+        dense = ProsperitySimulator().simulate(trace_at(0.5))
+        assert dense.cycles > sparse.cycles
+
+    def test_attention_workload_supported(self):
+        rng = np.random.default_rng(6)
+        w = GeMMWorkload(
+            "attn", SpikeMatrix(rng.random((64, 64)) < 0.2), 32, kind="attention"
+        )
+        report = ProsperitySimulator().simulate(ModelTrace("t", "d", [w]))
+        assert report.cycles > 0
+
+    def test_memory_bound_layer_uses_dram_cycles(self):
+        from repro.arch.config import DRAMConfig
+
+        rng = np.random.default_rng(7)
+        # At full 64 GB/s the design is compute-bound (the row-issue floor
+        # dominates); throttling DRAM exposes the max(compute, memory) path.
+        config = ProsperityConfig(
+            dram=DRAMConfig(bandwidth_bytes_per_s=2e9)
+        )
+        w = GeMMWorkload(
+            "mem", SpikeMatrix(rng.random((2048, 512)) < 0.01), 128, time_steps=4
+        )
+        report = ProsperitySimulator(config=config).simulate(
+            ModelTrace("t", "d", [w])
+        )
+        layer = report.layers[0]
+        assert layer.memory_cycles > layer.compute_cycles
+        assert layer.cycles >= layer.memory_cycles
+
+
+class TestReportHelpers:
+    def test_speedup_and_geomean(self, small_trace):
+        fast = ProsperitySimulator().simulate(small_trace)
+        slow = ProsperitySimulator(mode=MODE_DENSE).simulate(small_trace)
+        assert speedup(slow, fast) > 1.0
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+
+    def test_throughput_positive(self, small_trace):
+        report = ProsperitySimulator().simulate(small_trace)
+        assert report.throughput_gops() > 0
+        assert report.energy_efficiency_gops_per_j() > 0
+        assert report.avg_power_w > 0

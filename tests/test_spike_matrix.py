@@ -1,0 +1,84 @@
+"""Tests for SpikeMatrix / SpikeTile containers and tiling."""
+
+import numpy as np
+import pytest
+
+from repro.core.spike_matrix import (
+    SpikeMatrix,
+    SpikeTile,
+    random_spike_matrix,
+)
+
+
+class TestSpikeTile:
+    def test_shape_and_density(self, paper_tile):
+        assert paper_tile.m == 6
+        assert paper_tile.k == 4
+        assert paper_tile.nnz == 14
+        assert paper_tile.bit_density == pytest.approx(14 / 24)
+
+    def test_popcounts(self, paper_tile):
+        assert paper_tile.popcounts().tolist() == [2, 2, 3, 1, 3, 3]
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            SpikeTile(np.array([[0, 2], [1, 0]]))
+
+    def test_accepts_int01(self):
+        tile = SpikeTile(np.array([[0, 1], [1, 0]]))
+        assert tile.bits.dtype == bool
+
+    def test_empty_tile_density(self):
+        tile = SpikeTile(np.zeros((4, 4), dtype=bool))
+        assert tile.bit_density == 0.0
+
+
+class TestTiling:
+    def test_exact_tiling(self):
+        matrix = SpikeMatrix(np.ones((8, 8), dtype=bool))
+        tiles = list(matrix.tile(4, 4))
+        assert len(tiles) == 4
+        assert all(t.m == 4 and t.k == 4 for t in tiles)
+
+    def test_edge_tiles_not_padded(self):
+        matrix = SpikeMatrix(np.ones((5, 7), dtype=bool))
+        tiles = list(matrix.tile(4, 4))
+        assert len(tiles) == 4
+        shapes = {(t.m, t.k) for t in tiles}
+        assert shapes == {(4, 4), (4, 3), (1, 4), (1, 3)}
+
+    def test_coords(self):
+        matrix = SpikeMatrix(np.ones((4, 8), dtype=bool))
+        coords = [(t.coord.row_start, t.coord.col_start) for t in matrix.tile(4, 4)]
+        assert coords == [(0, 0), (0, 4)]
+
+    def test_num_tiles_matches_iteration(self):
+        matrix = SpikeMatrix(np.ones((10, 33), dtype=bool))
+        assert matrix.num_tiles(4, 16) == len(list(matrix.tile(4, 16)))
+
+    def test_tiles_cover_all_spikes(self, random_matrix):
+        total = sum(t.nnz for t in random_matrix.tile(64, 16))
+        assert total == random_matrix.nnz
+
+    def test_rejects_bad_tile_size(self, random_matrix):
+        with pytest.raises(ValueError):
+            list(random_matrix.tile(0, 4))
+
+
+class TestRandomSpikeMatrix:
+    def test_density_close_to_target(self, rng):
+        matrix = random_spike_matrix(500, 100, 0.3, rng)
+        assert abs(matrix.bit_density - 0.3) < 0.02
+
+    def test_correlation_creates_duplicates(self, rng):
+        matrix = random_spike_matrix(200, 16, 0.3, rng, row_correlation=0.9)
+        unique = {row.tobytes() for row in matrix.bits}
+        assert len(unique) < 150  # template mixing collapses many rows
+
+    def test_rejects_bad_density(self, rng):
+        with pytest.raises(ValueError):
+            random_spike_matrix(10, 10, 1.5, rng)
+
+    def test_rejects_bad_correlation(self, rng):
+        with pytest.raises(ValueError):
+            random_spike_matrix(10, 10, 0.5, rng, row_correlation=1.0)

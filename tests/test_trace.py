@@ -1,0 +1,75 @@
+"""Tests for workload recording and ModelTrace."""
+
+import numpy as np
+import pytest
+
+from repro.snn.trace import (
+    GeMMWorkload,
+    ModelTrace,
+    WorkloadRecorder,
+    active_recorder,
+    record_gemm,
+    recording,
+)
+from repro.core.spike_matrix import SpikeMatrix
+
+
+def _workload(kind="linear", m=8, k=4, n=3, density=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    return GeMMWorkload(
+        name="w", spikes=SpikeMatrix(rng.random((m, k)) < density), n=n, kind=kind
+    )
+
+
+class TestGeMMWorkload:
+    def test_derived_metrics(self):
+        w = _workload(m=8, k=4, n=3)
+        assert w.dense_macs == 96
+        assert w.spike_accumulations == w.spikes.nnz * 3
+        assert 0 <= w.bit_density <= 1
+
+
+class TestModelTrace:
+    def test_totals(self):
+        trace = ModelTrace("m", "d", [_workload(seed=1), _workload(seed=2)])
+        assert trace.total_dense_macs == 192
+        assert trace.total_elements == 64
+        assert len(trace) == 2
+
+    def test_linear_only_drops_attention(self):
+        trace = ModelTrace(
+            "m", "d", [_workload(kind="linear"), _workload(kind="attention")]
+        )
+        filtered = trace.linear_only()
+        assert len(filtered) == 1
+        assert filtered.workloads[0].kind == "linear"
+
+    def test_bit_density_weighted(self):
+        dense = _workload(density=1.0, seed=3)
+        empty = _workload(density=0.0, seed=4)
+        trace = ModelTrace("m", "d", [dense, empty])
+        assert trace.bit_density == pytest.approx(0.5)
+
+
+class TestRecorder:
+    def test_no_active_recorder_noop(self):
+        record_gemm("x", np.zeros((2, 2), dtype=bool), 4)  # must not raise
+        assert active_recorder() is None
+
+    def test_recording_context(self):
+        recorder = WorkloadRecorder()
+        with recording(recorder):
+            assert active_recorder() is recorder
+            record_gemm("x", np.ones((2, 3), dtype=bool), 4, kind="conv", time_steps=2)
+        assert active_recorder() is None
+        assert len(recorder.workloads) == 1
+        assert recorder.workloads[0].time_steps == 2
+
+    def test_nested_recorders(self):
+        outer, inner = WorkloadRecorder(), WorkloadRecorder()
+        with recording(outer):
+            with recording(inner):
+                record_gemm("x", np.ones((1, 1), dtype=bool), 1)
+            record_gemm("y", np.ones((1, 1), dtype=bool), 1)
+        assert [w.name for w in inner.workloads] == ["x"]
+        assert [w.name for w in outer.workloads] == ["y"]

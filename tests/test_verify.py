@@ -1,0 +1,37 @@
+"""Tests for the three-way consistency harness."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import ProsperityConfig
+from repro.arch.verify import verify_consistency, verify_tile
+
+
+class TestVerifyTile:
+    def test_clean_tile_passes(self, rng):
+        config = ProsperityConfig(
+            tile_m=32, tile_k=8, tile_n=8, num_pes=8, tcam_entries=32
+        )
+        bits = rng.random((32, 8)) < 0.3
+        weights = rng.normal(size=(8, 8))
+        assert verify_tile(bits, weights, config) == []
+
+
+class TestVerifyConsistency:
+    def test_sweep_passes(self):
+        report = verify_consistency(n_tiles=6, rng=np.random.default_rng(1))
+        assert report.passed
+        assert report.tiles_checked == 6
+
+    def test_extreme_densities(self):
+        report = verify_consistency(
+            n_tiles=4, density_range=(0.0, 1.0), rng=np.random.default_rng(2)
+        )
+        assert report.passed
+
+    def test_small_tiles(self):
+        report = verify_consistency(
+            n_tiles=4, tile_m=4, tile_k=4, tile_n=2,
+            rng=np.random.default_rng(3),
+        )
+        assert report.passed

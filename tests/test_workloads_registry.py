@@ -1,0 +1,71 @@
+"""Tests for the workload registry and its presets."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    FIG8_GRID,
+    FIG11_GRID,
+    _PRESET_KWARGS,
+    clear_trace_cache,
+    get_trace,
+)
+
+
+class TestGrids:
+    def test_fig8_covers_paper_models(self):
+        models = {model for model, _ in FIG8_GRID}
+        assert models == {
+            "vgg16", "resnet18", "spikformer", "sdt", "spikebert", "spikingbert"
+        }
+
+    def test_fig8_dataset_counts(self):
+        """Paper Fig. 8: 2 CNN datasets each, 3 transformer datasets each."""
+        from collections import Counter
+
+        counts = Counter(model for model, _ in FIG8_GRID)
+        assert counts["vgg16"] == 2 and counts["resnet18"] == 2
+        for transformer in ("spikformer", "sdt", "spikebert", "spikingbert"):
+            assert counts[transformer] == 3
+
+    def test_fig11_adds_small_cnns(self):
+        models = {model for model, _ in FIG11_GRID}
+        assert "vgg9" in models and "lenet5" in models
+
+
+class TestPresets:
+    def test_small_preset_is_smaller(self):
+        clear_trace_cache()
+        small = get_trace("lenet5", "mnist", preset="small", seed=3)
+        paper = get_trace("lenet5", "mnist", preset="paper", seed=3)
+        assert small.total_dense_macs < paper.total_dense_macs
+        clear_trace_cache()
+
+    def test_same_seed_same_trace_content(self):
+        clear_trace_cache()
+        first = get_trace("lenet5", "mnist", preset="small", seed=5)
+        clear_trace_cache()
+        second = get_trace("lenet5", "mnist", preset="small", seed=5)
+        assert len(first) == len(second)
+        for a, b in zip(first.workloads, second.workloads):
+            assert (a.spikes.bits == b.spikes.bits).all()
+        clear_trace_cache()
+
+    def test_different_seed_different_spikes(self):
+        clear_trace_cache()
+        first = get_trace("lenet5", "mnist", preset="small", seed=1)
+        clear_trace_cache()
+        second = get_trace("lenet5", "mnist", preset="small", seed=2)
+        assert any(
+            (a.spikes.bits != b.spikes.bits).any()
+            for a, b in zip(first.workloads, second.workloads)
+        )
+        clear_trace_cache()
+
+    def test_every_preset_model_buildable(self):
+        """Preset overrides reference only registered models/params."""
+        from repro.snn.models import MODEL_BUILDERS
+
+        for preset_kwargs in _PRESET_KWARGS.values():
+            for model in preset_kwargs:
+                assert model in MODEL_BUILDERS
