@@ -4,7 +4,6 @@ Paper row: Dense 100%/1.00x; PTB 34.21% bit density / 1.86x; Stellar
 9.80% FS density / 5.97x; Prosperity 2.79% product density / 17.55x.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import MAX_TILES, save_result

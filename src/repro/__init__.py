@@ -9,6 +9,8 @@ Layered public API:
   attention layers, the paper's model zoo, workload tracing).
 * :mod:`repro.arch` — the Prosperity accelerator simulator (PPU pipeline,
   memory system, 28 nm area/energy models).
+* :mod:`repro.engine` — batched, backend-pluggable execution engine
+  (reference / vectorized backends, content-hash forest cache).
 * :mod:`repro.baselines` — Eyeriss, PTB, SATO, MINT, Stellar, LoAS, A100.
 * :mod:`repro.analysis` — density studies, tiling DSE, cost trade-off.
 * :mod:`repro.workloads` — the cached model x dataset evaluation grid.
@@ -20,6 +22,7 @@ from repro.core import (
     execute_gemm,
     transform_matrix,
 )
+from repro.engine import ProsperityEngine, available_backends
 from repro.snn import GeMMWorkload, ModelTrace
 from repro.workloads import FIG8_GRID, FIG11_GRID, get_trace
 
@@ -27,8 +30,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ProsperityConfig",
+    "ProsperityEngine",
     "ProsperitySimulator",
     "SimReport",
+    "available_backends",
     "SpikeMatrix",
     "execute_gemm",
     "transform_matrix",

@@ -43,14 +43,26 @@ def trace_prosparsity_stats(
     tile_k: int = 16,
     max_tiles: int | None = None,
     rng: np.random.Generator | None = None,
+    engine=None,
 ) -> ProSparsityStats:
-    """Aggregate ProSparsity statistics over every workload of a trace."""
+    """Aggregate ProSparsity statistics over every workload of a trace.
+
+    ``engine``, when given, must be a
+    :class:`repro.engine.ProsperityEngine`; its backend and forest cache
+    then carry the transforms (bit-identical stats, faster sweeps).
+    """
     stats = ProSparsityStats()
     for workload in trace.workloads:
-        result = transform_matrix(
-            workload.spikes, tile_m, tile_k,
-            keep_transforms=False, max_tiles=max_tiles, rng=rng,
-        )
+        if engine is None:
+            result = transform_matrix(
+                workload.spikes, tile_m, tile_k,
+                keep_transforms=False, max_tiles=max_tiles, rng=rng,
+            )
+        else:
+            result = engine.transform_matrix(
+                workload.spikes, tile_m, tile_k,
+                keep_transforms=False, max_tiles=max_tiles, rng=rng,
+            )
         stats.merge(result.stats)
     return stats
 
@@ -62,9 +74,10 @@ def density_report(
     window: int = 4,
     max_tiles: int | None = None,
     rng: np.random.Generator | None = None,
+    engine=None,
 ) -> DensityReport:
     """All four density metrics for one trace (one Fig. 11 bar group)."""
-    stats = trace_prosparsity_stats(trace, tile_m, tile_k, max_tiles, rng)
+    stats = trace_prosparsity_stats(trace, tile_m, tile_k, max_tiles, rng, engine)
     elements = sum(w.spikes.bits.size for w in trace.workloads)
     structured = (
         sum(windowed_density(w, window) * w.spikes.bits.size for w in trace.workloads)

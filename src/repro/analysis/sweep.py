@@ -11,6 +11,7 @@ from repro.arch.energy import area_model
 from repro.arch.ppu import MODE_BIT, MODE_PROSPERITY
 from repro.arch.simulator import ProsperitySimulator
 from repro.analysis.density import trace_prosparsity_stats
+from repro.engine.pipeline import ProsperityEngine
 from repro.snn.trace import ModelTrace
 
 
@@ -33,6 +34,7 @@ def _latency_ratio(
     config: ProsperityConfig,
     max_tiles: int,
     rng: np.random.Generator,
+    backend: str = "reference",
 ) -> float:
     """Prosperity-vs-bit-sparsity latency on the same hardware."""
     pro_cycles = 0.0
@@ -40,11 +42,11 @@ def _latency_ratio(
     for trace in traces:
         pro = ProsperitySimulator(
             config=config, mode=MODE_PROSPERITY,
-            max_tiles_per_workload=max_tiles, rng=rng,
+            max_tiles_per_workload=max_tiles, rng=rng, backend=backend,
         ).simulate(trace)
         bit = ProsperitySimulator(
             config=config, mode=MODE_BIT,
-            max_tiles_per_workload=max_tiles, rng=rng,
+            max_tiles_per_workload=max_tiles, rng=rng, backend=backend,
         ).simulate(trace)
         pro_cycles += pro.cycles
         bit_cycles += bit.cycles
@@ -58,23 +60,28 @@ def sweep_tile_sizes(
     base_config: ProsperityConfig | None = None,
     max_tiles: int = 24,
     rng: np.random.Generator | None = None,
+    backend: str = "reference",
 ) -> tuple[list[SweepPoint], list[SweepPoint]]:
     """Fig. 7's two sweeps: vary m at fixed k, and k at fixed m.
 
     Returns ``(m_sweep, k_sweep)``. Density always falls with larger m
     (larger prefix search scope) while a middle k is optimal; area/power
-    grow super-linearly with m.
+    grow super-linearly with m. ``backend`` selects the transform
+    implementation (results are backend-independent; the vectorized
+    backend just finishes the sweep faster).
     """
     rng = rng if rng is not None else np.random.default_rng(0)
     base = base_config if base_config is not None else ProsperityConfig()
     base_area = area_model(base).total
+    engine = ProsperityEngine(backend=backend)
 
     def evaluate(m: int, k: int) -> SweepPoint:
         config = base.with_tile(m=m, k=k)
         stats_total = None
         for trace in traces:
             stats = trace_prosparsity_stats(
-                trace, tile_m=m, tile_k=k, max_tiles=max_tiles, rng=rng
+                trace, tile_m=m, tile_k=k, max_tiles=max_tiles, rng=rng,
+                engine=engine,
             )
             if stats_total is None:
                 stats_total = stats
@@ -90,7 +97,7 @@ def sweep_tile_sizes(
             tile_k=k,
             product_density=stats_total.product_density,
             bit_density=stats_total.bit_density,
-            latency_vs_bit=_latency_ratio(traces, config, max_tiles, rng),
+            latency_vs_bit=_latency_ratio(traces, config, max_tiles, rng, backend),
             area_mm2=area,
             relative_area=area / base_area,
             relative_power_proxy=power_proxy,

@@ -21,7 +21,7 @@ import numpy as np
 from repro.arch.config import ProsperityConfig
 from repro.arch.ppu import MODE_PROSPERITY, compute_phase_cycles, prosparsity_phase_cycles
 from repro.core.prosparsity import TILE_RECORD_FIELDS, transform_matrix
-from repro.snn.trace import GeMMWorkload, ModelTrace
+from repro.snn.trace import ModelTrace
 
 _FIELD = {name: i for i, name in enumerate(TILE_RECORD_FIELDS)}
 

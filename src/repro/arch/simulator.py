@@ -26,7 +26,9 @@ from repro.arch.ppu import (
 )
 from repro.arch.report import LayerResult, SimReport
 from repro.arch.sorter import BitonicSorter
-from repro.core.prosparsity import TILE_RECORD_FIELDS, transform_matrix
+from repro.core.prosparsity import TILE_RECORD_FIELDS
+from repro.engine.backends import Backend
+from repro.engine.pipeline import ProsperityEngine
 from repro.snn.trace import GeMMWorkload, ModelTrace
 from repro.utils.bitops import pack_rows, popcount_rows
 
@@ -65,6 +67,13 @@ class ProsperitySimulator:
         When set, sample at most this many tiles per GeMM and scale counts
         by the sampled fraction (keeps large sweeps tractable; unbiased in
         expectation).
+    backend:
+        ProSparsity transform backend (see :mod:`repro.engine.backends`);
+        every backend yields bit-identical tile records, so simulation
+        results are backend-independent — only wall-clock time changes.
+    engine:
+        Pre-built :class:`ProsperityEngine` to share a forest cache
+        across simulators; overrides ``backend`` when given.
     """
 
     def __init__(
@@ -73,6 +82,8 @@ class ProsperitySimulator:
         mode: str = MODE_PROSPERITY,
         max_tiles_per_workload: int | None = None,
         rng: np.random.Generator | None = None,
+        backend: str | Backend = "reference",
+        engine: ProsperityEngine | None = None,
     ):
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
@@ -80,6 +91,13 @@ class ProsperitySimulator:
         self.mode = mode
         self.max_tiles = max_tiles_per_workload
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.engine = (
+            engine
+            if engine is not None
+            else ProsperityEngine(
+                backend=backend, tile_m=config.tile_m, tile_k=config.tile_k
+            )
+        )
         self.memory = MemorySystem(config)
         self.memory.validate_tiles()
         self.neuron_array = NeuronArray(config)
@@ -94,7 +112,7 @@ class ProsperitySimulator:
                 workload.spikes, self.config.tile_m, self.config.tile_k
             )
             return records, 1.0
-        result = transform_matrix(
+        result = self.engine.transform_matrix(
             workload.spikes,
             self.config.tile_m,
             self.config.tile_k,

@@ -9,7 +9,6 @@ structure is exactly what Prosperity's unstructured dataflow removes
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.arch.report import LayerResult
 from repro.baselines.base import AcceleratorModel, dram_cycles

@@ -4,11 +4,14 @@ Examples
 --------
 ::
 
-    python -m repro.cli density  --model vgg16 --dataset cifar100
-    python -m repro.cli simulate --model resnet18 --dataset cifar10
-    python -m repro.cli sweep    --model vgg16 --dataset cifar100
-    python -m repro.cli tradeoff --sparsity-increase 0.1335
-    python -m repro.cli scaling  --model vgg16 --dataset cifar10
+    repro density  --model vgg16 --dataset cifar100
+    repro simulate --model resnet18 --dataset cifar10 --backend vectorized
+    repro sweep    --model vgg16 --dataset cifar100
+    repro tradeoff --sparsity-increase 0.1335
+    repro scaling  --model vgg16 --dataset cifar10
+    repro run      --model vgg16 --backend vectorized --batch 8 --verify
+
+(Also runnable as ``python -m repro.cli`` when not installed.)
 """
 
 from __future__ import annotations
@@ -25,16 +28,28 @@ from repro.analysis.tradeoff import breakeven_sparsity_increase, evaluate_tradeo
 from repro.arch.scaling import scaling_study
 from repro.arch.simulator import ProsperitySimulator
 from repro.baselines import BASELINES
+from repro.engine import ProsperityEngine, available_backends
 from repro.workloads import get_trace
 
 
-def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+def _add_workload_args(
+    parser: argparse.ArgumentParser, sampling: bool = True
+) -> None:
     parser.add_argument("--model", default="vgg16", help="model name (see repro.snn.models)")
     parser.add_argument("--dataset", default="cifar10", help="dataset name")
     parser.add_argument("--preset", default="small", choices=("small", "paper"))
     parser.add_argument("--seed", type=int, default=7)
-    parser.add_argument("--max-tiles", type=int, default=24,
-                        help="tile sample cap per workload (0 = exact)")
+    if sampling:
+        parser.add_argument("--max-tiles", type=int, default=24,
+                            help="tile sample cap per workload (0 = exact)")
+
+
+def _add_backend_arg(parser: argparse.ArgumentParser, default: str = "reference") -> None:
+    parser.add_argument(
+        "--backend", default=default, choices=available_backends(),
+        help="ProSparsity transform backend (results are identical; "
+        "the vectorized backend is faster)",
+    )
 
 
 def _max_tiles(args: argparse.Namespace) -> int | None:
@@ -66,7 +81,7 @@ def cmd_simulate(args: argparse.Namespace) -> str:
     for name in ("eyeriss", "ptb", "sato", "mint", "stellar", "a100"):
         reports[name] = BASELINES[name]().simulate(trace)
     reports["prosperity"] = ProsperitySimulator(
-        max_tiles_per_workload=_max_tiles(args), rng=rng
+        max_tiles_per_workload=_max_tiles(args), rng=rng, backend=args.backend
     ).simulate(trace)
     base = reports["eyeriss"]
     rows = [
@@ -94,6 +109,7 @@ def cmd_sweep(args: argparse.Namespace) -> str:
         k_values=(8, 16, 32),
         max_tiles=max(args.max_tiles, 4),
         rng=np.random.default_rng(args.seed),
+        backend=args.backend,
     )
     rows = [
         [p.tile_m, p.tile_k, format_percent(p.product_density),
@@ -133,12 +149,63 @@ def cmd_scaling(args: argparse.Namespace) -> str:
     )
 
 
+def cmd_run(args: argparse.Namespace) -> str:
+    """Batched end-to-end engine run: the high-throughput transform path."""
+    trace = get_trace(args.model, args.dataset, args.preset, args.seed)
+    engine = ProsperityEngine(backend=args.backend, cache_size=args.cache_size)
+    report = engine.run(trace, batch=args.batch)
+    rows = [
+        [
+            run.name,
+            run.kind,
+            run.tiles,
+            format_percent(run.stats.bit_density),
+            format_percent(run.stats.product_density),
+            format_ratio(run.stats.ops_reduction),
+        ]
+        for run in report.runs
+    ]
+    stats = report.stats
+    rows.append(
+        [
+            "TOTAL",
+            "",
+            report.total_tiles,
+            format_percent(stats.bit_density),
+            format_percent(stats.product_density),
+            format_ratio(stats.ops_reduction),
+        ]
+    )
+    table = format_table(
+        ["workload", "kind", "tiles", "bit dens", "pro dens", "reduction"],
+        rows,
+        title=(
+            f"engine run — {args.model}/{args.dataset} ({args.preset}) "
+            f"backend={report.backend} batch={report.batch}"
+        ),
+    )
+    footer = (
+        f"\nthroughput: {report.tiles_per_sec:,.0f} tiles/sec over "
+        f"{report.total_tiles} tiles in {report.total_seconds * 1e3:.1f} ms; "
+        f"forest cache: {report.cache_hits} hits / {report.cache_misses} misses "
+        f"({report.cache_hit_rate:.1%} hit rate)"
+    )
+    if args.verify:
+        if not engine.verify_trace(trace):
+            raise SystemExit(
+                f"backend {report.backend!r} diverged from the reference oracle"
+            )
+        footer += "\nverify: tile records bit-identical to the reference backend"
+    return table + footer
+
+
 COMMANDS = {
     "density": cmd_density,
     "simulate": cmd_simulate,
     "sweep": cmd_sweep,
     "tradeoff": cmd_tradeoff,
     "scaling": cmd_scaling,
+    "run": cmd_run,
 }
 
 
@@ -151,6 +218,21 @@ def build_parser() -> argparse.ArgumentParser:
     for name in ("density", "simulate", "sweep", "scaling"):
         sub = subparsers.add_parser(name)
         _add_workload_args(sub)
+        if name in ("simulate", "sweep"):
+            _add_backend_arg(sub)
+    run = subparsers.add_parser(
+        "run", help="batched ProSparsity engine run with backend selection"
+    )
+    # The engine always transforms every tile (no sampling): throughput
+    # and cache numbers describe the full workload.
+    _add_workload_args(run, sampling=False)
+    _add_backend_arg(run, default="vectorized")
+    run.add_argument("--batch", type=int, default=8,
+                     help="max layers stacked into one engine pass")
+    run.add_argument("--cache-size", type=int, default=4096,
+                     help="forest cache capacity in distinct tiles (0 = off)")
+    run.add_argument("--verify", action="store_true",
+                     help="re-run through the reference oracle and compare")
     trade = subparsers.add_parser("tradeoff")
     trade.add_argument("--sparsity-increase", type=float, default=0.1335)
     return parser

@@ -123,6 +123,19 @@ class ProSparsityResult:
     tile_records: np.ndarray | None = None
 
 
+def validate_tile_shape(tile_m: int, tile_k: int) -> None:
+    """Reject degenerate tile shapes before any tiling loop runs.
+
+    Without this, a non-positive size silently yields zero tiles (the
+    sampling path iterates an empty ``range``) and an empty transform.
+    """
+    for name, value in (("tile_m", tile_m), ("tile_k", tile_k)):
+        if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+            raise ValueError(f"{name} must be a positive integer, got {value!r}")
+        if value <= 0:
+            raise ValueError(f"{name} must be a positive integer, got {value!r}")
+
+
 def transform_tile(tile: SpikeTile) -> TileTransform:
     """Run Detector -> Pruner -> Dispatcher on a single tile."""
     forest = build_forest(tile)
@@ -130,23 +143,29 @@ def transform_tile(tile: SpikeTile) -> TileTransform:
     return TileTransform(tile=tile, forest=forest, plan=plan)
 
 
-def _tile_record(tile: SpikeTile, forest: ProSparsityForest) -> tuple[int, ...]:
+def forest_record(forest: ProSparsityForest) -> tuple[int, ...]:
+    """Canonical :data:`TILE_RECORD_FIELDS` tuple for a built forest.
+
+    The single source of truth for record layout — every backend and the
+    engine pipeline build records through this function (or replicate its
+    field order exactly, guarded by the backend-equivalence tests).
+    """
     residual = forest.residual_ops()
     popcounts = forest.popcounts
-    zero_residual = int((residual == 0).sum())
-    zero_bits = int((popcounts == 0).sum())
-    em_rows = int(((forest.prefix != NO_PREFIX) & (residual == 0) & (popcounts > 0)).sum())
+    reused = forest.prefix != NO_PREFIX
     return (
-        tile.m,
-        tile.k,
+        forest.m,
+        forest.k,
         int(popcounts.sum()),
         int(residual.sum()),
-        zero_residual,
-        zero_bits,
-        em_rows,
-        int((forest.prefix != NO_PREFIX).sum()),
+        int((residual == 0).sum()),
+        int((popcounts == 0).sum()),
+        int((reused & (residual == 0) & (popcounts > 0)).sum()),
+        int(reused.sum()),
         forest.depth(),
     )
+
+
 
 
 def _record_to_stats(record: tuple[int, ...]) -> ProSparsityStats:
@@ -206,6 +225,7 @@ def transform_matrix(
         then describe the *sample*, while densities remain unbiased
         estimates of the full matrix.
     """
+    validate_tile_shape(tile_m, tile_k)
     if not isinstance(matrix, SpikeMatrix):
         matrix = SpikeMatrix(matrix)
     result = ProSparsityResult()
@@ -222,7 +242,7 @@ def transform_matrix(
     records: list[tuple[int, ...]] = []
     for tile in tiles:
         forest = build_forest(tile)
-        record = _tile_record(tile, forest)
+        record = forest_record(forest)
         records.append(record)
         result.stats.merge(_record_to_stats(record))
         if keep_transforms:
@@ -277,6 +297,7 @@ def execute_gemm(
     Tiles along K accumulate into the same output rows, mirroring the
     output-stationary partial-sum accumulation of the architecture.
     """
+    validate_tile_shape(tile_m, tile_k)
     if not isinstance(spike_matrix, SpikeMatrix):
         spike_matrix = SpikeMatrix(spike_matrix)
     weights = np.asarray(weights)

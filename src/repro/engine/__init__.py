@@ -1,0 +1,38 @@
+"""repro.engine — batched, backend-pluggable ProSparsity execution.
+
+The engine is the throughput layer above :mod:`repro.core`: it chooses a
+:class:`~repro.engine.backends.Backend` (``reference`` oracle or bulk
+``vectorized`` NumPy), batches whole-network traces, and caches per-tile
+forests by content hash. Every backend is bit-identical to the core
+transform; the engine only changes *how fast* the answer arrives.
+"""
+
+from repro.engine.backends import (
+    Backend,
+    ReferenceBackend,
+    VectorizedBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.engine.pipeline import (
+    EngineReport,
+    ForestCache,
+    ProsperityEngine,
+    WorkloadRun,
+    stats_from_records,
+)
+
+__all__ = [
+    "Backend",
+    "ReferenceBackend",
+    "VectorizedBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "EngineReport",
+    "ForestCache",
+    "ProsperityEngine",
+    "WorkloadRun",
+    "stats_from_records",
+]

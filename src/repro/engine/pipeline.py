@@ -1,0 +1,472 @@
+"""Batched whole-network ProSparsity runs with a content-hash forest cache.
+
+SNN traces repeat themselves: the same spike tile recurs across time
+steps, and layers often share activation structure. The engine therefore
+keys every per-tile artifact (record or forest) by a BLAKE2 digest of the
+tile's ``np.packbits`` content, so a repeated tile is a cache hit instead
+of a recompute. On top of that, consecutive same-width layers are stacked
+into one tall matrix per batch, amortizing packing and Python dispatch
+over many layers/timesteps.
+
+:class:`ProsperityEngine` is the high-throughput entry point used by the
+CLI (``repro run``), the architecture simulator, and the throughput
+benchmark; it mirrors the :mod:`repro.core` transform contract exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dispatch import build_dispatch_plan
+from repro.core.forest import ProSparsityForest
+from repro.core.prosparsity import (
+    DEFAULT_TILE_K,
+    DEFAULT_TILE_M,
+    TILE_RECORD_FIELDS,
+    ProSparsityResult,
+    ProSparsityStats,
+    TileTransform,
+    _sample_tiles,
+    forest_record,
+    validate_tile_shape,
+)
+from repro.core.spike_matrix import SpikeMatrix, SpikeTile
+from repro.engine.backends import Backend, ReferenceBackend, get_backend
+from repro.snn.trace import GeMMWorkload, ModelTrace
+
+__all__ = [
+    "EngineReport",
+    "ForestCache",
+    "ProsperityEngine",
+    "WorkloadRun",
+    "stats_from_records",
+]
+
+_FIELD = {name: i for i, name in enumerate(TILE_RECORD_FIELDS)}
+
+
+def stats_from_records(
+    records: np.ndarray, sample_fraction: float = 1.0
+) -> ProSparsityStats:
+    """Aggregate tile records into :class:`ProSparsityStats` in one pass."""
+    stats = ProSparsityStats(sample_fraction=sample_fraction)
+    if records.size == 0:
+        return stats
+    m_col = records[:, _FIELD["m"]]
+    stats.elements = int((m_col * records[:, _FIELD["k"]]).sum())
+    stats.bit_nnz = int(records[:, _FIELD["bit_nnz"]].sum())
+    stats.product_nnz = int(records[:, _FIELD["product_nnz"]].sum())
+    stats.rows = int(m_col.sum())
+    stats.em_rows = int(records[:, _FIELD["em_rows"]].sum())
+    stats.reused_rows = int(records[:, _FIELD["reused_rows"]].sum())
+    stats.zero_residual_rows = int(records[:, _FIELD["zero_residual_rows"]].sum())
+    stats.zero_bit_rows = int(records[:, _FIELD["zero_bit_rows"]].sum())
+    stats.tiles = len(records)
+    return stats
+
+
+class ForestCache:
+    """LRU cache of per-tile artifacts keyed by tile content hash.
+
+    One entry per distinct tile content holds the statistics record
+    and/or the forest arrays, filled lazily by whichever path touched the
+    tile first. Forest arrays are stored coordinate-free so a hit can be
+    rebound to a tile at any position in any matrix.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple, dict] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @staticmethod
+    def key(m: int, k: int, packed: np.ndarray) -> tuple:
+        """Content key: shape plus a BLAKE2 digest of the packed bits."""
+        digest = hashlib.blake2b(
+            np.ascontiguousarray(packed).tobytes(), digest_size=16
+        ).digest()
+        return (m, k, digest)
+
+    def _lookup(self, key: tuple, slot: str):
+        entry = self._entries.get(key)
+        value = entry.get(slot) if entry is not None else None
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def _store(self, key: tuple, slot: str, value) -> None:
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = {}
+            self._entries[key] = entry
+        entry[slot] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    # -- records --------------------------------------------------------
+    def get_record(self, m: int, k: int, packed: np.ndarray):
+        return self._lookup(self.key(m, k, packed), "record")
+
+    def put_record(self, m: int, k: int, packed: np.ndarray, record) -> None:
+        self._store(self.key(m, k, packed), "record", tuple(record))
+
+    # -- forests --------------------------------------------------------
+    def get_forest(self, tile: SpikeTile) -> ProSparsityForest | None:
+        arrays = self._lookup(self.key(tile.m, tile.k, tile.packed), "forest")
+        if arrays is None:
+            return None
+        prefix, pattern, popcounts = arrays
+        return ProSparsityForest(
+            tile=tile, prefix=prefix, pattern=pattern, popcounts=popcounts
+        )
+
+    def put_forest(self, tile: SpikeTile, forest: ProSparsityForest) -> None:
+        self._store(
+            self.key(tile.m, tile.k, tile.packed),
+            "forest",
+            (forest.prefix, forest.pattern, forest.popcounts),
+        )
+
+
+@dataclass
+class WorkloadRun:
+    """Transform outcome for one GeMM workload inside an engine run."""
+
+    name: str
+    kind: str
+    tiles: int
+    records: np.ndarray
+    stats: ProSparsityStats
+    seconds: float
+
+    @property
+    def tiles_per_sec(self) -> float:
+        return self.tiles / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass
+class EngineReport:
+    """Aggregate result of one batched engine run over a trace."""
+
+    backend: str
+    tile_m: int
+    tile_k: int
+    batch: int
+    model: str = ""
+    dataset: str = ""
+    runs: list[WorkloadRun] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def total_tiles(self) -> int:
+        return sum(run.tiles for run in self.runs)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(run.seconds for run in self.runs)
+
+    @property
+    def tiles_per_sec(self) -> float:
+        seconds = self.total_seconds
+        return self.total_tiles / seconds if seconds > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def stats(self) -> ProSparsityStats:
+        merged = ProSparsityStats()
+        for run in self.runs:
+            merged.merge(run.stats)
+        return merged
+
+
+class ProsperityEngine:
+    """Batched, backend-pluggable ProSparsity execution engine.
+
+    Parameters
+    ----------
+    backend:
+        Backend name (``"reference"`` / ``"vectorized"``) or instance.
+    cache_size:
+        LRU capacity in distinct tile contents; ``0`` disables caching.
+    """
+
+    def __init__(
+        self,
+        backend: str | Backend = "vectorized",
+        tile_m: int = DEFAULT_TILE_M,
+        tile_k: int = DEFAULT_TILE_K,
+        cache_size: int = 1024,
+    ):
+        validate_tile_shape(tile_m, tile_k)
+        self.backend = get_backend(backend)
+        self.tile_m = tile_m
+        self.tile_k = tile_k
+        self.cache = ForestCache(cache_size) if cache_size else None
+
+    # ------------------------------------------------------------------
+    def _forest_for(self, tile: SpikeTile) -> ProSparsityForest:
+        if self.cache is not None:
+            forest = self.cache.get_forest(tile)
+            if forest is not None:
+                return forest
+        forest = self.backend.forest(tile)
+        if self.cache is not None:
+            self.cache.put_forest(tile, forest)
+        return forest
+
+    def _tile_record_cached(self, tile: SpikeTile) -> tuple[int, ...]:
+        if self.cache is not None:
+            record = self.cache.get_record(tile.m, tile.k, tile.packed)
+            if record is not None:
+                return record
+        record = self.backend.tile_record(tile)
+        if self.cache is not None:
+            self.cache.put_record(tile.m, tile.k, tile.packed, record)
+        return record
+
+    # ------------------------------------------------------------------
+    def transform_matrix(
+        self,
+        matrix: SpikeMatrix | np.ndarray,
+        tile_m: int | None = None,
+        tile_k: int | None = None,
+        keep_transforms: bool = False,
+        max_tiles: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> ProSparsityResult:
+        """Drop-in, cache-aware equivalent of ``core.transform_matrix``.
+
+        Records, statistics, and (when kept) forests are bit-identical to
+        the core path for every backend; sampling draws the same RNG
+        sequence so sampled runs match the core path tile for tile.
+        """
+        tile_m = self.tile_m if tile_m is None else tile_m
+        tile_k = self.tile_k if tile_k is None else tile_k
+        validate_tile_shape(tile_m, tile_k)
+        if not isinstance(matrix, SpikeMatrix):
+            matrix = SpikeMatrix(matrix)
+        result = ProSparsityResult()
+
+        total_tiles = matrix.num_tiles(tile_m, tile_k)
+        sampled = max_tiles is not None and total_tiles > max_tiles
+        if sampled:
+            if rng is None:
+                rng = np.random.default_rng(0)
+            tiles = _sample_tiles(matrix, tile_m, tile_k, max_tiles, rng)
+            fraction = len(tiles) / total_tiles
+        else:
+            fraction = 1.0
+
+        if keep_transforms or sampled:
+            tile_iter = tiles if sampled else matrix.tile(tile_m, tile_k)
+            records: list[tuple[int, ...]] = []
+            for tile in tile_iter:
+                if keep_transforms:
+                    forest = self._forest_for(tile)
+                    plan = build_dispatch_plan(forest)
+                    result.transforms.append(
+                        TileTransform(tile=tile, forest=forest, plan=plan)
+                    )
+                    records.append(forest_record(forest))
+                else:
+                    records.append(self._tile_record_cached(tile))
+            record_array = np.array(records, dtype=np.int64).reshape(
+                len(records), len(TILE_RECORD_FIELDS)
+            )
+        else:
+            record_array = self.backend.matrix_records(
+                matrix, tile_m, tile_k, cache=self.cache
+            )
+        result.tile_records = record_array
+        result.stats = stats_from_records(record_array, sample_fraction=fraction)
+        return result
+
+    # ------------------------------------------------------------------
+    def _batch_groups(
+        self, workloads: list[GeMMWorkload], batch: int
+    ) -> list[list[GeMMWorkload]]:
+        """Group consecutive workloads that can be stacked into one matrix.
+
+        Workloads stack only when they share K and every member except
+        the last is tile-row aligned — then the stacked tiling is exactly
+        the concatenation of the per-workload tilings.
+        """
+        groups: list[list[GeMMWorkload]] = []
+        current: list[GeMMWorkload] = []
+        for workload in workloads:
+            joinable = (
+                current
+                and len(current) < batch
+                and workload.k == current[0].k
+            )
+            if not joinable:
+                if current:
+                    groups.append(current)
+                current = [workload]
+            else:
+                current.append(workload)
+            if workload.m % self.tile_m != 0:
+                groups.append(current)
+                current = []
+        if current:
+            groups.append(current)
+        return groups
+
+    def run(
+        self,
+        trace: ModelTrace | list[GeMMWorkload],
+        batch: int = 1,
+    ) -> EngineReport:
+        """Transform a whole trace, batching stackable layers/timesteps."""
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if isinstance(trace, ModelTrace):
+            workloads = list(trace.workloads)
+            model, dataset = trace.model, trace.dataset
+        else:
+            workloads = list(trace)
+            model = dataset = ""
+        report = EngineReport(
+            backend=self.backend.name,
+            tile_m=self.tile_m,
+            tile_k=self.tile_k,
+            batch=batch,
+            model=model,
+            dataset=dataset,
+        )
+        hits0 = self.cache.hits if self.cache else 0
+        misses0 = self.cache.misses if self.cache else 0
+
+        for group in self._batch_groups(workloads, batch):
+            start = time.perf_counter()
+            if len(group) == 1:
+                stacked = group[0].spikes
+            else:
+                stacked = SpikeMatrix(
+                    np.vstack([w.spikes.bits for w in group])
+                )
+            records = self.backend.matrix_records(
+                stacked, self.tile_m, self.tile_k, cache=self.cache
+            )
+            elapsed = time.perf_counter() - start
+            # Scatter stacked records back to their workloads.
+            col_tiles = -(-group[0].k // self.tile_k)
+            offset = 0
+            total = len(records)
+            for workload in group:
+                count = -(-workload.m // self.tile_m) * col_tiles
+                chunk = records[offset : offset + count]
+                offset += count
+                report.runs.append(
+                    WorkloadRun(
+                        name=workload.name,
+                        kind=workload.kind,
+                        tiles=len(chunk),
+                        records=chunk,
+                        stats=stats_from_records(chunk),
+                        seconds=elapsed * (len(chunk) / total) if total else 0.0,
+                    )
+                )
+            if offset != total:
+                raise RuntimeError(
+                    f"batch scatter mismatch: {offset} records assigned, {total} produced"
+                )
+        if self.cache:
+            report.cache_hits = self.cache.hits - hits0
+            report.cache_misses = self.cache.misses - misses0
+        return report
+
+    # ------------------------------------------------------------------
+    def execute_gemm(
+        self,
+        spike_matrix: SpikeMatrix | np.ndarray,
+        weights: np.ndarray,
+        tile_m: int | None = None,
+        tile_k: int | None = None,
+    ) -> np.ndarray:
+        """Lossless spiking GeMM through the configured backend.
+
+        Same contract as ``core.execute_gemm``; repeated tile contents
+        reuse cached forests.
+        """
+        tile_m = self.tile_m if tile_m is None else tile_m
+        tile_k = self.tile_k if tile_k is None else tile_k
+        validate_tile_shape(tile_m, tile_k)
+        if not isinstance(spike_matrix, SpikeMatrix):
+            spike_matrix = SpikeMatrix(spike_matrix)
+        weights = np.asarray(weights)
+        if weights.shape[0] != spike_matrix.cols:
+            raise ValueError(
+                f"weight rows ({weights.shape[0]}) must match spike cols"
+                f" ({spike_matrix.cols})"
+            )
+        out_dtype = (
+            np.int64 if np.issubdtype(weights.dtype, np.integer) else np.float64
+        )
+        output = np.zeros((spike_matrix.rows, weights.shape[1]), dtype=out_dtype)
+        for tile in spike_matrix.tile(tile_m, tile_k):
+            forest = self._forest_for(tile)
+            w_slice = weights[tile.coord.col_start : tile.coord.col_start + tile.k]
+            partial = self.backend.execute(forest, w_slice)
+            rows = slice(tile.coord.row_start, tile.coord.row_start + tile.m)
+            output[rows] += partial
+        return output
+
+    # ------------------------------------------------------------------
+    def verify_trace(
+        self,
+        trace: ModelTrace | list[GeMMWorkload],
+        max_tiles: int | None = None,
+        seed: int = 0,
+    ) -> bool:
+        """Check this backend's records against the reference oracle.
+
+        Both sides draw their tile samples from identically seeded RNGs,
+        so sampled runs compare the very same tiles.
+        """
+        oracle = ProsperityEngine(
+            backend=ReferenceBackend(),
+            tile_m=self.tile_m,
+            tile_k=self.tile_k,
+            cache_size=0,
+        )
+        workloads = trace.workloads if isinstance(trace, ModelTrace) else trace
+        for workload in workloads:
+            mine = self.transform_matrix(
+                workload.spikes,
+                max_tiles=max_tiles,
+                rng=np.random.default_rng(seed),
+            )
+            theirs = oracle.transform_matrix(
+                workload.spikes,
+                max_tiles=max_tiles,
+                rng=np.random.default_rng(seed),
+            )
+            if not np.array_equal(mine.tile_records, theirs.tile_records):
+                return False
+        return True

@@ -8,11 +8,8 @@ from repro.baselines import (
     BASELINES,
     A100Model,
     EyerissModel,
-    LoASModel,
-    MINTModel,
     PTBModel,
     SATOModel,
-    StellarModel,
     activation_density_with_prosparsity,
     dual_sparse_ops,
     fs_density,

@@ -1,7 +1,6 @@
 """Tests for the temporal-ordering Dispatcher logic."""
 
 import numpy as np
-import pytest
 
 from repro.core.dispatch import (
     build_dispatch_plan,

@@ -63,6 +63,41 @@ class TestDegenerateTiles:
         assert result.stats.rows == 10
 
 
+class TestTileShapeValidation:
+    """Non-positive tile sizes must fail loudly, not produce empty results."""
+
+    @pytest.mark.parametrize("tile_m,tile_k", [(0, 16), (-1, 16), (256, 0), (256, -8)])
+    def test_transform_matrix_rejects_bad_shapes(self, rng, tile_m, tile_k):
+        bits = rng.random((32, 16)) < 0.3
+        with pytest.raises(ValueError, match="positive integer"):
+            transform_matrix(bits, tile_m, tile_k)
+
+    @pytest.mark.parametrize("tile_m,tile_k", [(0, 16), (256, 0)])
+    def test_sampled_transform_rejects_bad_shapes(self, rng, tile_m, tile_k):
+        """The sampling path used to yield a silent empty transform."""
+        bits = rng.random((512, 64)) < 0.3
+        with pytest.raises(ValueError, match="positive integer"):
+            transform_matrix(bits, tile_m, tile_k, max_tiles=4, rng=rng)
+
+    def test_execute_gemm_rejects_bad_shapes(self, rng):
+        bits = rng.random((16, 8)) < 0.4
+        weights = rng.integers(-4, 4, size=(8, 4))
+        with pytest.raises(ValueError, match="positive integer"):
+            execute_gemm(SpikeMatrix(bits), weights, tile_m=-2, tile_k=8)
+
+    def test_non_integer_tile_sizes_rejected(self, rng):
+        bits = rng.random((16, 8)) < 0.4
+        with pytest.raises(ValueError, match="positive integer"):
+            transform_matrix(bits, 16.0, 8)
+        with pytest.raises(ValueError, match="positive integer"):
+            transform_matrix(bits, True, 8)
+
+    def test_valid_numpy_integer_sizes_accepted(self, rng):
+        bits = rng.random((16, 8)) < 0.4
+        result = transform_matrix(bits, np.int64(16), np.int32(8))
+        assert result.stats.tiles == 1
+
+
 class TestSimulatorEdges:
     def test_empty_trace(self):
         report = ProsperitySimulator().simulate(ModelTrace("m", "d", []))

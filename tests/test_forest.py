@@ -1,7 +1,6 @@
 """Tests for forest pruning (one prefix per row) and the two-prefix study."""
 
 import numpy as np
-import pytest
 
 from repro.core.forest import (
     NO_PREFIX,

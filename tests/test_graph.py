@@ -1,7 +1,6 @@
 """Tests for the full ProSparsity graph."""
 
 import numpy as np
-import pytest
 
 from repro.core.graph import build_graph
 from repro.core.spike_matrix import SpikeTile

@@ -7,7 +7,7 @@ from repro.arch.ppu import MODE_BIT, MODE_PROSPERITY, PPU
 from repro.arch.config import ProsperityConfig
 from repro.arch.simulator import ProsperitySimulator
 from repro.baselines import EyerissModel, PTBModel
-from repro.core.prosparsity import execute_gemm, transform_matrix
+from repro.core.prosparsity import execute_gemm
 from repro.core.reference import dense_spiking_gemm
 from repro.workloads import FIG8_GRID, FIG11_GRID, get_trace
 

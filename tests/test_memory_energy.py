@@ -4,7 +4,6 @@ import pytest
 
 from repro.arch.config import BufferConfig, DRAMConfig, ProsperityConfig
 from repro.arch.energy import (
-    AreaBreakdown,
     EnergyModel,
     area_model,
     sram_energy_per_byte,

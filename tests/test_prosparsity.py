@@ -11,7 +11,7 @@ from repro.core.prosparsity import (
     transform_tile,
 )
 from repro.core.reference import dense_spiking_gemm
-from repro.core.spike_matrix import SpikeMatrix, SpikeTile, random_spike_matrix
+from repro.core.spike_matrix import SpikeMatrix, random_spike_matrix
 
 
 class TestTransformTile:

@@ -1,7 +1,6 @@
 """Tests for the three-way consistency harness."""
 
 import numpy as np
-import pytest
 
 from repro.arch.config import ProsperityConfig
 from repro.arch.verify import verify_consistency, verify_tile

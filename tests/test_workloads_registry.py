@@ -1,7 +1,5 @@
 """Tests for the workload registry and its presets."""
 
-import numpy as np
-import pytest
 
 from repro.workloads import (
     FIG8_GRID,
