@@ -1,26 +1,35 @@
-"""Engine throughput: reference vs vectorized backend, tiles per second.
+"""Engine throughput: reference vs vectorized vs fused vs sharded.
 
-This is the perf gate for the engine subsystem: every run re-checks that
-the vectorized backend's tile records are bit-identical to the reference
-oracle on each tier-1 workload, measures tiles/sec for both backends,
-and asserts the vectorized backend's contract speedup (>= 3x on the
-VGG-16 workload). Results land in ``benchmarks/results/`` as both a
-rendered table and machine-readable JSON so CI can upload the perf
-trajectory per PR (``pytest benchmarks/test_engine_throughput.py
---quick`` is the CI smoke mode: one repetition, VGG-16 only).
+This is the perf gate for the engine subsystem. Every run re-checks that
+the bulk backends' tile records are bit-identical to the reference
+oracle on each tier-1 workload, measures tiles/sec per backend, and
+asserts the contract speedups on VGG-16: the vectorized backend >= 3x
+over the reference path (the PR 1 contract) and the fused tile-batched
+backend >= 3x over the vectorized per-tile path (this PR's contract).
+A sharded smoke (workers=2) checks multiprocess bit-identity on every
+run.
+
+Results land in ``benchmarks/results/`` (rendered table + JSON) and the
+machine-readable perf trajectory is appended-to-by-overwrite at the repo
+root as ``BENCH_engine.json`` — one entry per (workload, backend) with
+tiles/sec and speedup — so CI can chart the trend across PRs.
+(``pytest benchmarks/test_engine_throughput.py --quick`` is the CI smoke
+mode: one repetition, VGG-16 only.)
 """
 
 from __future__ import annotations
 
 import json
+import pathlib
 import time
 
 import numpy as np
+import pytest
 
 from benchmarks.conftest import save_result
 from repro.analysis.report import format_ratio, format_table
 from repro.core.prosparsity import transform_matrix
-from repro.engine import ProsperityEngine
+from repro.engine import ProsperityEngine, ShardedBackend
 from repro.workloads import get_trace
 
 #: Tier-1 workloads: the model/dataset pairs the test suite exercises.
@@ -30,10 +39,16 @@ TIER1_GRID = (
     ("spikformer", "cifar10"),
 )
 
-#: Contract minimum for the vectorized backend on the VGG-16 workload.
+#: Contract minimum for the vectorized backend over reference on VGG-16.
 MIN_VGG16_SPEEDUP = 3.0
 
+#: Contract minimum for the fused backend over vectorized on VGG-16.
+MIN_FUSED_SPEEDUP = 3.0
+
 TILE_M, TILE_K = 256, 16
+
+#: Perf-trajectory file (repo root) uploaded as a CI artifact per PR.
+BENCH_TRAJECTORY = pathlib.Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -55,79 +70,155 @@ def _reference_records(trace) -> list[np.ndarray]:
     ]
 
 
-def test_engine_throughput(results_dir, request):
+def _engine_run(backend):
+    """Fresh engine per repetition; ``backend`` may be a shared instance."""
+    def run(trace):
+        return ProsperityEngine(
+            backend=backend, tile_m=TILE_M, tile_k=TILE_K
+        ).run(trace, batch=8)
+
+    return run
+
+
+def _check_records(report, reference_records, label):
+    assert len(report.runs) == len(reference_records)
+    for run, expected in zip(report.runs, reference_records):
+        assert np.array_equal(run.records, expected), (
+            f"{label}:{run.name} diverged from reference"
+        )
+
+
+@pytest.fixture(scope="module")
+def sharded_backend():
+    """Persistent two-worker pool shared by the equivalence smoke."""
+    backend = ShardedBackend(workers=2)
+    yield backend
+    backend.close()
+
+
+def test_engine_throughput(results_dir, request, sharded_backend):
     quick = request.config.getoption("--quick")
     grid = TIER1_GRID[:1] if quick else TIER1_GRID
     repeats = 1 if quick else 3
 
     rows = []
     payload = {"quick": quick, "tile_m": TILE_M, "tile_k": TILE_K}
-    speedups = {}
+    trajectory = []
+    vec_speedups = {}
+    fused_speedups = {}
     for model, dataset in grid:
         trace = get_trace(model, dataset, preset="small")
+        workload = f"{model}/{dataset}"
 
-        # Correctness first: vectorized records must be bit-identical to
-        # the reference oracle on every workload of the trace.
+        # Correctness first: every bulk backend's records must be
+        # bit-identical to the reference oracle on the whole trace.
         reference_records = _reference_records(trace)
-        engine = ProsperityEngine(
-            backend="vectorized", tile_m=TILE_M, tile_k=TILE_K
-        )
-        report = engine.run(trace, batch=8)
-        assert len(report.runs) == len(reference_records)
-        for run, expected in zip(report.runs, reference_records):
-            assert np.array_equal(run.records, expected), (
-                f"{model}/{dataset}:{run.name} diverged from reference"
-            )
-
-        def _vectorized_run():
-            ProsperityEngine(
-                backend="vectorized", tile_m=TILE_M, tile_k=TILE_K
-            ).run(trace, batch=8)
+        vectorized_run = _engine_run("vectorized")
+        fused_run = _engine_run("fused")
+        sharded_run = _engine_run(sharded_backend)
+        report = vectorized_run(trace)
+        _check_records(report, reference_records, f"vectorized:{workload}")
+        fused_report = fused_run(trace)
+        _check_records(fused_report, reference_records, f"fused:{workload}")
+        shard_report = sharded_run(trace)
+        _check_records(shard_report, reference_records, f"sharded:{workload}")
 
         ref_seconds = _best_of(lambda: _reference_records(trace), repeats)
-        vec_seconds = _best_of(_vectorized_run, repeats)
-        if (
-            (model, dataset) == ("vgg16", "cifar10")
-            and ref_seconds / vec_seconds < MIN_VGG16_SPEEDUP
+        vec_seconds = _best_of(lambda: vectorized_run(trace), repeats)
+        fused_seconds = _best_of(lambda: fused_run(trace), repeats)
+        shard_seconds = _best_of(lambda: sharded_run(trace), repeats)
+        if (model, dataset) == ("vgg16", "cifar10") and (
+            ref_seconds / vec_seconds < MIN_VGG16_SPEEDUP
+            or vec_seconds / fused_seconds < MIN_FUSED_SPEEDUP
         ):
-            # Guard the contract assert against a noisy neighbor: one
+            # Guard the contract asserts against a noisy neighbor: one
             # re-measure with more repetitions before declaring failure.
             ref_seconds = _best_of(lambda: _reference_records(trace), repeats + 2)
-            vec_seconds = _best_of(_vectorized_run, repeats + 2)
+            vec_seconds = _best_of(lambda: vectorized_run(trace), repeats + 2)
+            fused_seconds = _best_of(lambda: fused_run(trace), repeats + 2)
         tiles = report.total_tiles
-        ref_tps = tiles / ref_seconds
-        vec_tps = tiles / vec_seconds
-        speedup = ref_seconds / vec_seconds
-        speedups[(model, dataset)] = speedup
+        seconds = {
+            "reference": ref_seconds,
+            "vectorized": vec_seconds,
+            "fused": fused_seconds,
+            "sharded[2]": shard_seconds,
+        }
+        vec_speedups[(model, dataset)] = ref_seconds / vec_seconds
+        fused_speedups[(model, dataset)] = vec_seconds / fused_seconds
         rows.append(
             [
-                f"{model}/{dataset}",
+                workload,
                 tiles,
-                f"{ref_tps:,.0f}",
-                f"{vec_tps:,.0f}",
-                format_ratio(speedup),
-                f"{report.cache_hit_rate:.1%}",
+                *(f"{tiles / s:,.0f}" for s in seconds.values()),
+                format_ratio(vec_speedups[(model, dataset)]),
+                format_ratio(fused_speedups[(model, dataset)]),
             ]
         )
-        payload[f"{model}/{dataset}"] = {
+        payload[workload] = {
             "tiles": int(tiles),
-            "reference_tiles_per_sec": ref_tps,
-            "vectorized_tiles_per_sec": vec_tps,
-            "speedup": speedup,
+            **{
+                f"{name}_tiles_per_sec": tiles / s
+                for name, s in seconds.items()
+            },
+            "vectorized_speedup_vs_reference": vec_speedups[(model, dataset)],
+            "fused_speedup_vs_vectorized": fused_speedups[(model, dataset)],
             "cache_hit_rate": report.cache_hit_rate,
+            "fused_profile": fused_report.profile,
         }
+        for name, s in seconds.items():
+            trajectory.append(
+                {
+                    "workload": workload,
+                    "backend": name,
+                    "tiles": int(tiles),
+                    "tiles_per_sec": tiles / s,
+                    "speedup_vs_reference": ref_seconds / s,
+                }
+            )
 
     table = format_table(
-        ["workload", "tiles", "ref tiles/s", "vec tiles/s", "speedup", "cache hits"],
+        [
+            "workload", "tiles", "ref t/s", "vec t/s", "fused t/s",
+            "shard2 t/s", "vec/ref", "fused/vec",
+        ],
         rows,
-        title="engine throughput — reference vs vectorized backend",
+        title="engine throughput — backend comparison (tiles/sec)",
     )
     save_result("engine_throughput", table)
     (results_dir / "engine_throughput.json").write_text(
         json.dumps(payload, indent=2) + "\n"
     )
+    BENCH_TRAJECTORY.write_text(
+        json.dumps(
+            {"schema": 1, "quick": quick, "entries": trajectory}, indent=2
+        )
+        + "\n"
+    )
 
-    assert speedups[("vgg16", "cifar10")] >= MIN_VGG16_SPEEDUP, (
-        f"vectorized backend speedup {speedups[('vgg16', 'cifar10')]:.2f}x "
+    assert vec_speedups[("vgg16", "cifar10")] >= MIN_VGG16_SPEEDUP, (
+        f"vectorized backend speedup {vec_speedups[('vgg16', 'cifar10')]:.2f}x "
         f"below the {MIN_VGG16_SPEEDUP}x contract on VGG-16"
     )
+    assert fused_speedups[("vgg16", "cifar10")] >= MIN_FUSED_SPEEDUP, (
+        f"fused backend speedup {fused_speedups[('vgg16', 'cifar10')]:.2f}x over "
+        f"vectorized, below the {MIN_FUSED_SPEEDUP}x contract on VGG-16"
+    )
+
+
+def test_sharded_worker_sweep_equivalence(request, sharded_backend):
+    """Workers in {1, 2, 4} produce bit-identical VGG-16 tile records."""
+    trace = get_trace("vgg16", "cifar10", preset="small")
+    reference_records = _reference_records(trace)
+    quick = request.config.getoption("--quick")
+    worker_counts = (2,) if quick else (1, 2, 4)
+    for workers in worker_counts:
+        backend = (
+            sharded_backend if workers == 2 else ShardedBackend(workers=workers)
+        )
+        try:
+            report = _engine_run(backend)(trace)
+            _check_records(report, reference_records, f"sharded[{workers}]")
+            assert report.workers == workers
+        finally:
+            if backend is not sharded_backend:
+                backend.close()

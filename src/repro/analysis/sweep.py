@@ -34,19 +34,27 @@ def _latency_ratio(
     config: ProsperityConfig,
     max_tiles: int,
     rng: np.random.Generator,
-    backend: str = "reference",
+    backend="reference",
 ) -> float:
-    """Prosperity-vs-bit-sparsity latency on the same hardware."""
+    """Prosperity-vs-bit-sparsity latency on the same hardware.
+
+    ``backend`` may be a shared instance so the whole sweep reuses one
+    transform backend (and, for ``sharded``, one process pool); the two
+    simulators share one engine per configuration for the same reason.
+    """
     pro_cycles = 0.0
     bit_cycles = 0.0
+    engine = ProsperityEngine(
+        backend=backend, tile_m=config.tile_m, tile_k=config.tile_k
+    )
     for trace in traces:
         pro = ProsperitySimulator(
             config=config, mode=MODE_PROSPERITY,
-            max_tiles_per_workload=max_tiles, rng=rng, backend=backend,
+            max_tiles_per_workload=max_tiles, rng=rng, engine=engine,
         ).simulate(trace)
         bit = ProsperitySimulator(
             config=config, mode=MODE_BIT,
-            max_tiles_per_workload=max_tiles, rng=rng, backend=backend,
+            max_tiles_per_workload=max_tiles, rng=rng, engine=engine,
         ).simulate(trace)
         pro_cycles += pro.cycles
         bit_cycles += bit.cycles
@@ -61,19 +69,24 @@ def sweep_tile_sizes(
     max_tiles: int = 24,
     rng: np.random.Generator | None = None,
     backend: str = "reference",
+    workers: int | None = None,
 ) -> tuple[list[SweepPoint], list[SweepPoint]]:
     """Fig. 7's two sweeps: vary m at fixed k, and k at fixed m.
 
     Returns ``(m_sweep, k_sweep)``. Density always falls with larger m
     (larger prefix search scope) while a middle k is optimal; area/power
     grow super-linearly with m. ``backend`` selects the transform
-    implementation (results are backend-independent; the vectorized
-    backend just finishes the sweep faster).
+    implementation (results are backend-independent; the ``fused`` and
+    ``sharded`` backends just finish the sweep faster); ``workers``
+    forwards a process count to the ``sharded`` backend.
     """
     rng = rng if rng is not None else np.random.default_rng(0)
     base = base_config if base_config is not None else ProsperityConfig()
     base_area = area_model(base).total
-    engine = ProsperityEngine(backend=backend)
+    engine = ProsperityEngine(backend=backend, workers=workers)
+    # One backend instance for the whole sweep: every per-config engine
+    # below reuses it (for `sharded`, that means one process pool).
+    shared_backend = engine.backend
 
     def evaluate(m: int, k: int) -> SweepPoint:
         config = base.with_tile(m=m, k=k)
@@ -97,7 +110,9 @@ def sweep_tile_sizes(
             tile_k=k,
             product_density=stats_total.product_density,
             bit_density=stats_total.bit_density,
-            latency_vs_bit=_latency_ratio(traces, config, max_tiles, rng, backend),
+            latency_vs_bit=_latency_ratio(
+                traces, config, max_tiles, rng, shared_backend
+            ),
             area_mm2=area,
             relative_area=area / base_area,
             relative_power_proxy=power_proxy,

@@ -71,6 +71,9 @@ class ProsperitySimulator:
         ProSparsity transform backend (see :mod:`repro.engine.backends`);
         every backend yields bit-identical tile records, so simulation
         results are backend-independent — only wall-clock time changes.
+    workers:
+        Process count forwarded to the ``sharded`` backend (``None``
+        leaves the backend default; other backends reject it).
     engine:
         Pre-built :class:`ProsperityEngine` to share a forest cache
         across simulators; overrides ``backend`` when given.
@@ -83,6 +86,7 @@ class ProsperitySimulator:
         max_tiles_per_workload: int | None = None,
         rng: np.random.Generator | None = None,
         backend: str | Backend = "reference",
+        workers: int | None = None,
         engine: ProsperityEngine | None = None,
     ):
         if mode not in MODES:
@@ -95,7 +99,10 @@ class ProsperitySimulator:
             engine
             if engine is not None
             else ProsperityEngine(
-                backend=backend, tile_m=config.tile_m, tile_k=config.tile_k
+                backend=backend,
+                tile_m=config.tile_m,
+                tile_k=config.tile_k,
+                workers=workers,
             )
         )
         self.memory = MemorySystem(config)

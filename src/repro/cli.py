@@ -9,7 +9,8 @@ Examples
     repro sweep    --model vgg16 --dataset cifar100
     repro tradeoff --sparsity-increase 0.1335
     repro scaling  --model vgg16 --dataset cifar10
-    repro run      --model vgg16 --backend vectorized --batch 8 --verify
+    repro run      --model vgg16 --backend fused --batch 8 --verify
+    repro run      --model vgg16 --backend sharded --workers 4
 
 (Also runnable as ``python -m repro.cli`` when not installed.)
 """
@@ -48,7 +49,12 @@ def _add_backend_arg(parser: argparse.ArgumentParser, default: str = "reference"
     parser.add_argument(
         "--backend", default=default, choices=available_backends(),
         help="ProSparsity transform backend (results are identical; "
-        "the vectorized backend is faster)",
+        "fused/sharded are the fast tile-batched paths)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process count for the sharded backend "
+        "(other backends reject this option)",
     )
 
 
@@ -81,7 +87,8 @@ def cmd_simulate(args: argparse.Namespace) -> str:
     for name in ("eyeriss", "ptb", "sato", "mint", "stellar", "a100"):
         reports[name] = BASELINES[name]().simulate(trace)
     reports["prosperity"] = ProsperitySimulator(
-        max_tiles_per_workload=_max_tiles(args), rng=rng, backend=args.backend
+        max_tiles_per_workload=_max_tiles(args), rng=rng, backend=args.backend,
+        workers=args.workers,
     ).simulate(trace)
     base = reports["eyeriss"]
     rows = [
@@ -110,6 +117,7 @@ def cmd_sweep(args: argparse.Namespace) -> str:
         max_tiles=max(args.max_tiles, 4),
         rng=np.random.default_rng(args.seed),
         backend=args.backend,
+        workers=args.workers,
     )
     rows = [
         [p.tile_m, p.tile_k, format_percent(p.product_density),
@@ -152,7 +160,9 @@ def cmd_scaling(args: argparse.Namespace) -> str:
 def cmd_run(args: argparse.Namespace) -> str:
     """Batched end-to-end engine run: the high-throughput transform path."""
     trace = get_trace(args.model, args.dataset, args.preset, args.seed)
-    engine = ProsperityEngine(backend=args.backend, cache_size=args.cache_size)
+    engine = ProsperityEngine(
+        backend=args.backend, cache_size=args.cache_size, workers=args.workers
+    )
     report = engine.run(trace, batch=args.batch)
     rows = [
         [
@@ -190,12 +200,22 @@ def cmd_run(args: argparse.Namespace) -> str:
         f"forest cache: {report.cache_hits} hits / {report.cache_misses} misses "
         f"({report.cache_hit_rate:.1%} hit rate)"
     )
+    if report.workers is not None:
+        footer += f"\nworkers: {report.workers}"
+    if report.profile:
+        footer += "\nprofile: " + "  ".join(
+            f"{stage}={seconds * 1e3:.1f}ms"
+            for stage, seconds in report.profile.items()
+        )
     if args.verify:
         if not engine.verify_trace(trace):
             raise SystemExit(
                 f"backend {report.backend!r} diverged from the reference oracle"
             )
         footer += "\nverify: tile records bit-identical to the reference backend"
+    close = getattr(engine.backend, "close", None)
+    if close is not None:
+        close()
     return table + footer
 
 

@@ -1,8 +1,9 @@
 """repro.engine — batched, backend-pluggable ProSparsity execution.
 
 The engine is the throughput layer above :mod:`repro.core`: it chooses a
-:class:`~repro.engine.backends.Backend` (``reference`` oracle or bulk
-``vectorized`` NumPy), batches whole-network traces, and caches per-tile
+:class:`~repro.engine.backends.Backend` (``reference`` oracle, bulk
+``vectorized`` NumPy, tile-batched ``fused`` kernels, or multiprocess
+``sharded`` execution), batches whole-network traces, and caches per-tile
 forests by content hash. Every backend is bit-identical to the core
 transform; the engine only changes *how fast* the answer arrives.
 """
@@ -15,6 +16,8 @@ from repro.engine.backends import (
     get_backend,
     register_backend,
 )
+from repro.engine.fused import FusedBackend
+from repro.engine.parallel import ShardedBackend
 from repro.engine.pipeline import (
     EngineReport,
     ForestCache,
@@ -25,7 +28,9 @@ from repro.engine.pipeline import (
 
 __all__ = [
     "Backend",
+    "FusedBackend",
     "ReferenceBackend",
+    "ShardedBackend",
     "VectorizedBackend",
     "available_backends",
     "get_backend",

@@ -17,13 +17,17 @@ forests, tile records, lossless GeMM execution — defined by
   per-row accumulation loop with one matmul plus level-order prefix
   seeding.
 
-Both backends produce bit-identical forests, tile records, and (for
-integer weights) GeMM outputs. Later scaling work (sharding, async,
-multi-process) plugs in here by registering new backends.
+Two more backends register themselves on import of :mod:`repro.engine`:
+``fused`` (:mod:`repro.engine.fused` — tile-batched kernels, no per-tile
+Python dispatch) and ``sharded`` (:mod:`repro.engine.parallel` —
+multiprocess tile-batch sharding). Every backend produces bit-identical
+forests, tile records, and (for integer weights) GeMM outputs; later
+scaling work plugs in here by registering further backends.
 """
 
 from __future__ import annotations
 
+import inspect
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -44,6 +48,7 @@ __all__ = [
     "ReferenceBackend",
     "VectorizedBackend",
     "available_backends",
+    "code_width",
     "get_backend",
     "register_backend",
 ]
@@ -123,6 +128,21 @@ class ReferenceBackend(Backend):
 _CODE_DTYPES = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}
 
 
+def code_width(nbytes: int) -> int:
+    """Byte width of the machine-word code holding ``nbytes`` packed bytes.
+
+    Up to 8 bytes snaps to the next power of two (one machine word);
+    wider rows use whole ``uint64`` words.
+    """
+    width = 1
+    while width < nbytes:
+        width *= 2
+    width = max(width, 1)
+    if width > 8:
+        width = -(-nbytes // 8) * 8
+    return width
+
+
 def pack_codes(packed: np.ndarray) -> np.ndarray:
     """View packed ``uint8`` rows as ``(m, W)`` machine-word codes.
 
@@ -133,12 +153,7 @@ def pack_codes(packed: np.ndarray) -> np.ndarray:
     """
     packed = np.ascontiguousarray(packed, dtype=np.uint8)
     m, nbytes = packed.shape
-    width = 1
-    while width < nbytes:
-        width *= 2
-    width = max(width, 1)
-    if width > 8:
-        width = -(-nbytes // 8) * 8
+    width = code_width(nbytes)
     if width != nbytes:
         padded = np.zeros((m, width), dtype=np.uint8)
         padded[:, :nbytes] = packed
@@ -370,13 +385,30 @@ def available_backends() -> tuple[str, ...]:
     return tuple(sorted(_BACKENDS))
 
 
-def get_backend(backend: str | Backend) -> Backend:
-    """Resolve a backend instance from a name or pass one through."""
+def get_backend(backend: str | Backend, **options) -> Backend:
+    """Resolve a backend instance from a name or pass one through.
+
+    ``options`` with non-``None`` values (e.g. ``workers=4`` for the
+    ``sharded`` backend) are forwarded to the backend constructor; a
+    backend that does not accept an option rejects it with a
+    ``ValueError`` rather than silently ignoring it.
+    """
+    options = {key: value for key, value in options.items() if value is not None}
     if isinstance(backend, Backend):
+        if options:
+            raise ValueError(
+                f"backend options {sorted(options)} cannot be applied to an "
+                "already-constructed backend instance"
+            )
         return backend
     try:
-        return _BACKENDS[backend]()
+        cls = _BACKENDS[backend]
     except KeyError:
         raise ValueError(
             f"unknown backend {backend!r}; available: {available_backends()}"
         ) from None
+    accepted = inspect.signature(cls.__init__).parameters
+    unknown = sorted(set(options) - set(accepted))
+    if unknown:
+        raise ValueError(f"backend {backend!r} does not accept option(s) {unknown}")
+    return cls(**options)

@@ -130,6 +130,15 @@ class ForestCache:
     def put_record(self, m: int, k: int, packed: np.ndarray, record) -> None:
         self._store(self.key(m, k, packed), "record", tuple(record))
 
+    # -- key-based record access (batched/deduplicated paths) -----------
+    def get_record_by_key(self, key: tuple):
+        """Record lookup with a precomputed :meth:`key` (hash once per
+        unique tile content, as the fused/sharded dedup does)."""
+        return self._lookup(key, "record")
+
+    def put_record_by_key(self, key: tuple, record) -> None:
+        self._store(key, "record", tuple(record))
+
     # -- forests --------------------------------------------------------
     def get_forest(self, tile: SpikeTile) -> ProSparsityForest | None:
         arrays = self._lookup(self.key(tile.m, tile.k, tile.packed), "forest")
@@ -166,7 +175,15 @@ class WorkloadRun:
 
 @dataclass
 class EngineReport:
-    """Aggregate result of one batched engine run over a trace."""
+    """Aggregate result of one batched engine run over a trace.
+
+    ``profile`` breaks the run's wall-clock into pipeline stages when the
+    backend reports them (the fused/sharded backends do): ``pack`` (bit
+    packing, padding, layer stacking), ``select`` (prefix selection
+    kernels / worker dispatch), ``record`` (residual popcounts, depths,
+    record assembly), ``merge`` (dedup, cache traffic, scatter).
+    ``workers`` echoes the process count for sharded runs.
+    """
 
     backend: str
     tile_m: int
@@ -177,6 +194,8 @@ class EngineReport:
     runs: list[WorkloadRun] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    workers: int | None = None
+    profile: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_tiles(self) -> int:
@@ -210,9 +229,13 @@ class ProsperityEngine:
     Parameters
     ----------
     backend:
-        Backend name (``"reference"`` / ``"vectorized"``) or instance.
+        Backend name (``"reference"`` / ``"vectorized"`` / ``"fused"`` /
+        ``"sharded"``) or instance.
     cache_size:
         LRU capacity in distinct tile contents; ``0`` disables caching.
+    workers:
+        Process count for the ``sharded`` backend (rejected by backends
+        that do not take it; ``None`` leaves the backend default).
     """
 
     def __init__(
@@ -221,9 +244,10 @@ class ProsperityEngine:
         tile_m: int = DEFAULT_TILE_M,
         tile_k: int = DEFAULT_TILE_K,
         cache_size: int = 1024,
+        workers: int | None = None,
     ):
         validate_tile_shape(tile_m, tile_k)
-        self.backend = get_backend(backend)
+        self.backend = get_backend(backend, workers=workers)
         self.tile_m = tile_m
         self.tile_k = tile_k
         self.cache = ForestCache(cache_size) if cache_size else None
@@ -358,9 +382,13 @@ class ProsperityEngine:
             batch=batch,
             model=model,
             dataset=dataset,
+            workers=getattr(self.backend, "workers", None),
         )
         hits0 = self.cache.hits if self.cache else 0
         misses0 = self.cache.misses if self.cache else 0
+        profile0 = dict(getattr(self.backend, "profile", None) or {})
+        stack_seconds = 0.0
+        scatter_seconds = 0.0
 
         for group in self._batch_groups(workloads, batch):
             start = time.perf_counter()
@@ -370,11 +398,13 @@ class ProsperityEngine:
                 stacked = SpikeMatrix(
                     np.vstack([w.spikes.bits for w in group])
                 )
+            stack_seconds += time.perf_counter() - start
             records = self.backend.matrix_records(
                 stacked, self.tile_m, self.tile_k, cache=self.cache
             )
             elapsed = time.perf_counter() - start
             # Scatter stacked records back to their workloads.
+            scatter_start = time.perf_counter()
             col_tiles = -(-group[0].k // self.tile_k)
             offset = 0
             total = len(records)
@@ -396,9 +426,22 @@ class ProsperityEngine:
                 raise RuntimeError(
                     f"batch scatter mismatch: {offset} records assigned, {total} produced"
                 )
+            scatter_seconds += time.perf_counter() - scatter_start
         if self.cache:
             report.cache_hits = self.cache.hits - hits0
             report.cache_misses = self.cache.misses - misses0
+        backend_profile = getattr(self.backend, "profile", None)
+        if backend_profile:
+            report.profile = {
+                stage: seconds - profile0.get(stage, 0.0)
+                for stage, seconds in backend_profile.items()
+            }
+            # Engine-side batching overhead folds into the same stages:
+            # layer stacking prepares input (pack), scatter is merge.
+            report.profile["pack"] = report.profile.get("pack", 0.0) + stack_seconds
+            report.profile["merge"] = (
+                report.profile.get("merge", 0.0) + scatter_seconds
+            )
         return report
 
     # ------------------------------------------------------------------

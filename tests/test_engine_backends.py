@@ -163,6 +163,8 @@ class TestRegistry:
     def test_available_backends(self):
         assert "reference" in available_backends()
         assert "vectorized" in available_backends()
+        assert "fused" in available_backends()
+        assert "sharded" in available_backends()
 
     def test_get_backend_passthrough(self):
         backend = VectorizedBackend()

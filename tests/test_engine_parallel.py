@@ -1,0 +1,187 @@
+"""Sharded backend: multiprocess execution must stay bit-identical.
+
+The acceptance contract: for workers in {1, 2, 4} the sharded backend's
+tile records equal the reference oracle's exactly, and the records are
+byte-for-byte independent of the worker count (deterministic shard
+splits + submission-order merge).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.spike_matrix import random_spike_matrix
+from repro.engine import (
+    ProsperityEngine,
+    ShardedBackend,
+    available_backends,
+    get_backend,
+)
+from repro.engine.backends import ReferenceBackend
+from repro.engine.parallel import MIN_TILES_PER_SHARD, shard_bounds
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def pooled_backends():
+    """One persistent pool per worker count, shared across the module."""
+    backends = {workers: ShardedBackend(workers=workers) for workers in WORKER_COUNTS}
+    yield backends
+    for backend in backends.values():
+        backend.close()
+
+
+class TestShardBounds:
+    def test_covers_contiguously(self):
+        for total in (1, 7, 8, 17, 100):
+            for shards in (1, 2, 4, 9):
+                bounds = shard_bounds(total, shards)
+                assert bounds[0][0] == 0
+                assert bounds[-1][1] == total
+                for (_, a_end), (b_start, _) in zip(bounds, bounds[1:]):
+                    assert a_end == b_start
+
+    def test_never_exceeds_total(self):
+        assert len(shard_bounds(3, 8)) == 3
+        assert shard_bounds(0, 4) == [(0, 0)]
+
+
+class TestShardedEquivalence:
+    def test_matches_reference_oracle(self, rng, pooled_backends):
+        """Workers in {1, 2, 4}: records bit-identical to the oracle."""
+        oracle = ReferenceBackend()
+        # Enough tiles that the pool path actually engages (>= 2 shards).
+        cases = [
+            random_spike_matrix(
+                64 * 2 * MIN_TILES_PER_SHARD, 16, density, rng, correlation
+            )
+            for density, correlation in ((0.05, 0.0), (0.3, 0.5), (0.7, 0.2))
+        ]
+        for matrix in cases:
+            expected = oracle.matrix_records(matrix, 64, 16)
+            for workers, backend in pooled_backends.items():
+                actual = backend.matrix_records(matrix, 64, 16)
+                assert np.array_equal(expected, actual), workers
+
+    def test_records_independent_of_worker_count(self, rng, pooled_backends):
+        matrix = random_spike_matrix(64 * 20, 32, 0.25, rng, 0.4)
+        outputs = [
+            backend.matrix_records(matrix, 64, 16)
+            for backend in pooled_backends.values()
+        ]
+        for other in outputs[1:]:
+            assert np.array_equal(outputs[0], other)
+
+    def test_small_batches_run_inline(self, rng):
+        """Tiny stacks skip the pool entirely (no fork cost, same bits)."""
+        backend = ShardedBackend(workers=2)
+        try:
+            matrix = random_spike_matrix(48, 16, 0.3, rng)
+            expected = ReferenceBackend().matrix_records(matrix, 16, 16)
+            assert np.array_equal(
+                expected, backend.matrix_records(matrix, 16, 16)
+            )
+            assert backend._pool is None  # never spawned
+        finally:
+            backend.close()
+
+    def test_pool_persists_across_calls(self, rng, pooled_backends):
+        backend = pooled_backends[2]
+        matrix = random_spike_matrix(64 * 20, 16, 0.2, rng)
+        backend.matrix_records(matrix, 64, 16)
+        pool_first = backend._pool
+        backend.matrix_records(matrix, 64, 16)
+        assert backend._pool is pool_first
+        assert pool_first is not None
+
+    def test_engine_run_matches_vectorized(self, pooled_backends, vgg_trace):
+        vectorized = ProsperityEngine(backend="vectorized", tile_m=256, tile_k=16)
+        sharded = ProsperityEngine(
+            backend=pooled_backends[2], tile_m=256, tile_k=16
+        )
+        vec_report = vectorized.run(vgg_trace, batch=8)
+        shard_report = sharded.run(vgg_trace, batch=8)
+        assert shard_report.backend == "sharded"
+        assert shard_report.workers == 2
+        for mine, theirs in zip(shard_report.runs, vec_report.runs):
+            assert np.array_equal(mine.records, theirs.records), mine.name
+
+
+class TestShardedConstruction:
+    def test_registered(self):
+        assert "sharded" in available_backends()
+
+    def test_get_backend_with_workers(self):
+        backend = get_backend("sharded", workers=3)
+        try:
+            assert isinstance(backend, ShardedBackend)
+            assert backend.workers == 3
+        finally:
+            backend.close()
+
+    def test_engine_workers_passthrough(self):
+        engine = ProsperityEngine(backend="sharded", workers=2)
+        try:
+            assert engine.backend.workers == 2
+        finally:
+            engine.backend.close()
+
+    def test_default_workers_positive(self):
+        backend = ShardedBackend()
+        try:
+            assert backend.workers >= 1
+        finally:
+            backend.close()
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            ShardedBackend(workers=0)
+
+    def test_other_backends_reject_workers(self):
+        with pytest.raises(ValueError, match="does not accept"):
+            get_backend("vectorized", workers=2)
+        with pytest.raises(ValueError, match="does not accept"):
+            ProsperityEngine(backend="fused", workers=2)
+
+    def test_options_rejected_for_instances(self):
+        backend = ShardedBackend(workers=1)
+        try:
+            with pytest.raises(ValueError, match="already-constructed"):
+                get_backend(backend, workers=2)
+        finally:
+            backend.close()
+
+    def test_none_workers_ignored_for_any_backend(self):
+        assert get_backend("vectorized", workers=None).name == "vectorized"
+
+    def test_close_idempotent(self):
+        backend = ShardedBackend(workers=1)
+        backend.close()
+        backend.close()
+
+
+class TestCliSharded:
+    def test_cli_run_sharded(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            [
+                "run", "--model", "lenet5", "--dataset", "mnist",
+                "--backend", "sharded", "--workers", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "backend=sharded" in out
+        assert "workers: 2" in out
+        assert "profile:" in out
+
+    def test_cli_rejects_workers_for_vectorized(self):
+        from repro.cli import main
+
+        with pytest.raises(ValueError, match="does not accept"):
+            main(
+                ["run", "--model", "lenet5", "--dataset", "mnist",
+                 "--backend", "vectorized", "--workers", "2"]
+            )

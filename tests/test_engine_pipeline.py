@@ -66,6 +66,67 @@ class TestForestCache:
         with pytest.raises(ValueError, match="capacity"):
             ForestCache(capacity=0)
 
+    def test_eviction_under_capacity_pressure(self, rng):
+        """Sustained over-capacity fills keep the LRU bounded and coherent."""
+        cache = ForestCache(capacity=3)
+        tiles = [SpikeTile(rng.random((8, 8)) < 0.5) for _ in range(10)]
+        for i, tile in enumerate(tiles):
+            cache.put_record(tile.m, tile.k, tile.packed, (i,))
+            assert len(cache) <= 3
+        # Only the newest three contents survive, in insertion order.
+        for i, tile in enumerate(tiles):
+            record = cache.get_record(tile.m, tile.k, tile.packed)
+            assert record == ((i,) if i >= 7 else None), i
+        # A get refreshes recency: 7 survives the next two fills, 8 dies.
+        cache.get_record(tiles[7].m, tiles[7].k, tiles[7].packed)
+        for i in (0, 1):
+            cache.put_record(tiles[i].m, tiles[i].k, tiles[i].packed, (100 + i,))
+        assert cache.get_record(tiles[7].m, tiles[7].k, tiles[7].packed) == (7,)
+        assert cache.get_record(tiles[8].m, tiles[8].k, tiles[8].packed) is None
+
+    def test_eviction_drops_both_slots(self, rng):
+        """Evicting an entry loses its record and its forest together."""
+        engine = ProsperityEngine(backend="vectorized", tile_m=8, tile_k=8,
+                                  cache_size=1)
+        tile_a = SpikeTile(rng.random((8, 8)) < 0.5)
+        tile_b = SpikeTile(rng.random((8, 8)) < 0.5)
+        engine._forest_for(tile_a)
+        engine.cache.put_record(tile_a.m, tile_a.k, tile_a.packed, (1,))
+        engine._forest_for(tile_b)  # evicts tile_a's entry entirely
+        assert engine.cache.get_record(tile_a.m, tile_a.k, tile_a.packed) is None
+        assert engine.cache.get_forest(tile_a) is None
+
+    def test_dual_slot_fill_shares_one_entry(self, rng):
+        """Record and forest slots for one content key share an entry."""
+        cache = ForestCache(capacity=4)
+        engine = ProsperityEngine(backend="vectorized", tile_m=16, tile_k=8,
+                                  cache_size=0)
+        tile = SpikeTile(rng.random((16, 8)) < 0.4)
+        forest = engine.backend.forest(tile)
+
+        # Fill the record slot first: the forest slot still misses.
+        cache.put_record(tile.m, tile.k, tile.packed, (1, 2))
+        assert len(cache) == 1
+        assert cache.get_forest(tile) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+
+        # Fill the forest slot from the other path: same entry, no growth.
+        cache.put_forest(tile, forest)
+        assert len(cache) == 1
+        assert cache.get_record(tile.m, tile.k, tile.packed) == (1, 2)
+        assert cache.get_forest(tile) is not None
+        assert (cache.hits, cache.misses) == (2, 1)
+
+    def test_key_based_access_matches_packed_access(self, rng):
+        """get/put_record_by_key are aliases for the packed-array API."""
+        cache = ForestCache(capacity=4)
+        tile = SpikeTile(rng.random((16, 8)) < 0.4)
+        key = cache.key(tile.m, tile.k, tile.packed)
+        assert cache.get_record_by_key(key) is None
+        cache.put_record_by_key(key, (9, 9))
+        assert cache.get_record(tile.m, tile.k, tile.packed) == (9, 9)
+        assert (cache.hits, cache.misses) == (1, 1)
+
 
 class TestEngineTransform:
     @pytest.mark.parametrize("backend", ["reference", "vectorized"])
