@@ -1,27 +1,36 @@
-"""Engine throughput: reference vs vectorized vs fused vs sharded.
+"""Engine throughput: reference vs vectorized vs fused vs sharded vs plan.
 
 This is the perf gate for the engine subsystem. Every run re-checks that
 the bulk backends' tile records are bit-identical to the reference
 oracle on each tier-1 workload, measures tiles/sec per backend, and
-asserts the contract speedups on VGG-16: the vectorized backend >= 3x
-over the reference path (the PR 1 contract) and the fused tile-batched
-backend >= 3x over the vectorized per-tile path (this PR's contract).
-A sharded smoke (workers=2) checks multiprocess bit-identity on every
-run.
+asserts the contract speedups: on VGG-16 the vectorized backend >= 3x
+over the reference path (PR 1) and the fused tile-batched backend >= 3x
+over vectorized (PR 2); on a multi-timestep trace the trace-level
+planner (``plan="trace"``) >= 1.5x over per-matrix fused (PR 3). A
+sharded smoke (workers=2) checks multiprocess bit-identity on every run.
 
 Results land in ``benchmarks/results/`` (rendered table + JSON) and the
-machine-readable perf trajectory is appended-to-by-overwrite at the repo
-root as ``BENCH_engine.json`` — one entry per (workload, backend) with
-tiles/sec and speedup — so CI can chart the trend across PRs.
-(``pytest benchmarks/test_engine_throughput.py --quick`` is the CI smoke
-mode: one repetition, VGG-16 only.)
+machine-readable perf trajectory is *appended* to repo-root
+``BENCH_engine.json``: one history record per (git SHA, date), each
+holding one entry per (workload, backend) with tiles/sec and speedup —
+the history survives across PRs so the trend is chartable. Before
+appending, the current numbers are compared against the last committed
+record: machine-normalized speedups that regress by more than 2x
+hard-fail, absolute tiles/sec drops only warn (shared CI runners vary
+too much for hard absolute gates); ``REPRO_BENCH_SKIP_REGRESSION=1``
+disables the guard. (``pytest benchmarks/test_engine_throughput.py
+--quick`` is the CI smoke mode: one repetition, VGG-16 only.)
 """
 
 from __future__ import annotations
 
+import datetime
 import json
+import os
 import pathlib
+import subprocess
 import time
+import warnings
 
 import numpy as np
 import pytest
@@ -29,7 +38,9 @@ import pytest
 from benchmarks.conftest import save_result
 from repro.analysis.report import format_ratio, format_table
 from repro.core.prosparsity import transform_matrix
+from repro.core.spike_matrix import SpikeMatrix
 from repro.engine import ProsperityEngine, ShardedBackend
+from repro.snn.trace import GeMMWorkload, ModelTrace
 from repro.workloads import get_trace
 
 #: Tier-1 workloads: the model/dataset pairs the test suite exercises.
@@ -45,10 +56,218 @@ MIN_VGG16_SPEEDUP = 3.0
 #: Contract minimum for the fused backend over vectorized on VGG-16.
 MIN_FUSED_SPEEDUP = 3.0
 
+#: Contract minimum for trace-planned fused over per-matrix fused on a
+#: multi-timestep trace (this PR's contract).
+MIN_PLAN_SPEEDUP = 1.5
+
+#: Timesteps the multi-timestep planner benchmark unrolls.
+PLAN_TIME_STEPS = 8
+
+#: Regression-guard thresholds against the last committed trajectory
+#: record: machine-normalized speedup_vs_reference drops beyond
+#: ``HARD_REGRESSION`` fail; absolute tiles/sec drops beyond
+#: ``SOFT_REGRESSION`` warn only (shared runners differ too much).
+HARD_REGRESSION = 2.0
+SOFT_REGRESSION = 1.3
+
 TILE_M, TILE_K = 256, 16
 
 #: Perf-trajectory file (repo root) uploaded as a CI artifact per PR.
 BENCH_TRAJECTORY = pathlib.Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+
+def _git(*args: str) -> str:
+    return subprocess.run(
+        ["git", *args],
+        cwd=BENCH_TRAJECTORY.parent,
+        capture_output=True,
+        text=True,
+        check=True,
+        timeout=10,
+    ).stdout.strip()
+
+
+def _git_sha() -> str:
+    """HEAD's short SHA, with a ``-dirty`` marker for uncommitted code.
+
+    Only paths that can change benchmark numbers count as dirty (the
+    library and the benchmark modules — not results files or the
+    trajectory itself, which this run rewrites), so numbers are never
+    attributed to a commit that does not contain the measured code.
+    """
+    try:
+        sha = _git("rev-parse", "--short", "HEAD")
+    except Exception:
+        return "unknown"
+    try:
+        dirty = _git("status", "--porcelain", "--", "src", "benchmarks/*.py")
+    except Exception:
+        dirty = ""
+    return f"{sha}-dirty" if dirty else sha
+
+
+def _load_history() -> list[dict]:
+    """Trajectory history, migrating the flat schema-1 layout in place.
+
+    A present-but-unparsable file raises instead of returning ``[]``:
+    silently starting an empty history would both disarm the regression
+    guard and overwrite (destroy) every committed record on the next
+    append. Only a genuinely absent file starts fresh.
+    """
+    if not BENCH_TRAJECTORY.exists():
+        return []
+    try:
+        data = json.loads(BENCH_TRAJECTORY.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise RuntimeError(
+            f"{BENCH_TRAJECTORY} exists but cannot be parsed ({error}); "
+            "refusing to overwrite the perf history — fix or remove the "
+            "file (e.g. resolve merge-conflict markers) and re-run"
+        ) from error
+    if isinstance(data, dict) and "history" in data:
+        return list(data["history"])
+    if isinstance(data, dict) and "entries" in data:  # schema 1 (PR 2)
+        return [
+            {
+                "sha": "pre-history",
+                "date": None,
+                "quick": data.get("quick", False),
+                "entries": data["entries"],
+            }
+        ]
+    raise RuntimeError(
+        f"{BENCH_TRAJECTORY} has an unrecognized layout; refusing to "
+        "overwrite the perf history"
+    )
+
+
+def _append_trajectory(entries: list[dict], quick: bool) -> None:
+    """Merge entries into the history record keyed by (git SHA, date).
+
+    Re-runs on the same commit and day update their record in place
+    (keyed per workload/backend); everything older is preserved, so the
+    perf history accumulates across PRs instead of being overwritten.
+    Provenance is tracked per entry: a ``--quick`` (1-repetition) run
+    never overwrites full-mode numbers for the same key, and a record
+    counts as quick only while *all* of its entries are quick.
+    """
+    entries = [dict(entry, quick=quick) for entry in entries]
+    history = _load_history()
+    key = (_git_sha(), datetime.date.today().isoformat())
+    for record in history:
+        if (record.get("sha"), record.get("date")) == key:
+            index = {
+                (entry["workload"], entry["backend"]): position
+                for position, entry in enumerate(record["entries"])
+            }
+            for entry in entries:
+                entry_key = (entry["workload"], entry["backend"])
+                if entry_key not in index:
+                    record["entries"].append(entry)
+                elif not quick or record["entries"][index[entry_key]].get(
+                    "quick", record.get("quick", False)
+                ):
+                    record["entries"][index[entry_key]] = entry
+            record["quick"] = all(
+                entry.get("quick", record.get("quick", False))
+                for entry in record["entries"]
+            )
+            break
+    else:
+        history.append(
+            {"sha": key[0], "date": key[1], "quick": quick, "entries": entries}
+        )
+    BENCH_TRAJECTORY.write_text(
+        json.dumps({"schema": 2, "history": history}, indent=2) + "\n"
+    )
+
+
+def _previous_record() -> dict | None:
+    """The last committed trajectory record from a *different* run key."""
+    key = (_git_sha(), datetime.date.today().isoformat())
+    for record in reversed(_load_history()):
+        if (record.get("sha"), record.get("date")) != key:
+            return record
+    return None
+
+
+#: Machine-normalized speedup fields the regression guard understands;
+#: an entry carries whichever normalization is honest for its row.
+SPEEDUP_FIELDS = ("speedup_vs_reference", "speedup_vs_fused")
+
+
+def _check_regression(entries: list[dict]) -> None:
+    """Benchmark regression guard against the last committed record.
+
+    Machine-normalized speedup regressions (``speedup_vs_reference`` /
+    ``speedup_vs_fused``, compared like for like) beyond
+    ``HARD_REGRESSION`` fail; absolute tiles/sec drops beyond
+    ``SOFT_REGRESSION`` only warn, because shared CI runners routinely
+    differ that much machine to machine.
+    """
+    if os.environ.get("REPRO_BENCH_SKIP_REGRESSION"):
+        return
+    previous = _previous_record()
+    if previous is None:
+        return
+    baseline = {
+        (entry["workload"], entry["backend"]): entry
+        for entry in previous.get("entries", [])
+    }
+    failures = []
+    for entry in entries:
+        reference = baseline.get((entry["workload"], entry["backend"]))
+        if reference is None:
+            continue
+        regressed_speedup = False
+        for field in SPEEDUP_FIELDS:
+            old_speedup = reference.get(field, 0.0)
+            new_speedup = entry.get(field)
+            if new_speedup is None or old_speedup <= 1.0:
+                continue
+            if new_speedup * HARD_REGRESSION < old_speedup:
+                regressed_speedup = True
+                failures.append(
+                    f"{entry['workload']}/{entry['backend']}: {field} fell "
+                    f"{old_speedup:.2f}x -> {new_speedup:.2f}x "
+                    f"(> {HARD_REGRESSION}x regression vs {previous.get('sha')})"
+                )
+        if not regressed_speedup and (
+            reference.get("tiles_per_sec", 0.0)
+            > entry.get("tiles_per_sec", 0.0) * SOFT_REGRESSION
+        ):
+            warnings.warn(
+                f"{entry['workload']}/{entry['backend']}: tiles/sec fell "
+                f"{reference['tiles_per_sec']:,.0f} -> "
+                f"{entry['tiles_per_sec']:,.0f} vs {previous.get('sha')} "
+                "(warn-only: absolute throughput is machine-dependent)",
+                stacklevel=2,
+            )
+    assert not failures, "; ".join(failures)
+
+
+def _repeat_trace(trace: ModelTrace, repeats: int) -> ModelTrace:
+    """Unroll a trace over timesteps with *distinct* matrix copies.
+
+    Copies (rather than shared objects) make the multi-timestep
+    benchmark honest: the planner must rediscover the redundancy by
+    content, exactly as it would across real repeated timesteps.
+    """
+    return ModelTrace(
+        model=f"{trace.model}[x{repeats}]",
+        dataset=trace.dataset,
+        workloads=[
+            GeMMWorkload(
+                name=f"t{step}.{workload.name}",
+                spikes=SpikeMatrix(workload.spikes.bits.copy()),
+                n=workload.n,
+                kind=workload.kind,
+                time_steps=workload.time_steps,
+            )
+            for step in range(repeats)
+            for workload in trace.workloads
+        ],
+    )
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -70,11 +289,11 @@ def _reference_records(trace) -> list[np.ndarray]:
     ]
 
 
-def _engine_run(backend):
+def _engine_run(backend, plan="matrix"):
     """Fresh engine per repetition; ``backend`` may be a shared instance."""
     def run(trace):
         return ProsperityEngine(
-            backend=backend, tile_m=TILE_M, tile_k=TILE_K
+            backend=backend, tile_m=TILE_M, tile_k=TILE_K, plan=plan
         ).run(trace, batch=8)
 
     return run
@@ -115,17 +334,21 @@ def test_engine_throughput(results_dir, request, sharded_backend):
         reference_records = _reference_records(trace)
         vectorized_run = _engine_run("vectorized")
         fused_run = _engine_run("fused")
+        planned_run = _engine_run("fused", plan="trace")
         sharded_run = _engine_run(sharded_backend)
         report = vectorized_run(trace)
         _check_records(report, reference_records, f"vectorized:{workload}")
         fused_report = fused_run(trace)
         _check_records(fused_report, reference_records, f"fused:{workload}")
+        planned_report = planned_run(trace)
+        _check_records(planned_report, reference_records, f"fused+plan:{workload}")
         shard_report = sharded_run(trace)
         _check_records(shard_report, reference_records, f"sharded:{workload}")
 
         ref_seconds = _best_of(lambda: _reference_records(trace), repeats)
         vec_seconds = _best_of(lambda: vectorized_run(trace), repeats)
         fused_seconds = _best_of(lambda: fused_run(trace), repeats)
+        plan_seconds = _best_of(lambda: planned_run(trace), repeats)
         shard_seconds = _best_of(lambda: sharded_run(trace), repeats)
         if (model, dataset) == ("vgg16", "cifar10") and (
             ref_seconds / vec_seconds < MIN_VGG16_SPEEDUP
@@ -141,6 +364,7 @@ def test_engine_throughput(results_dir, request, sharded_backend):
             "reference": ref_seconds,
             "vectorized": vec_seconds,
             "fused": fused_seconds,
+            "fused+plan": plan_seconds,
             "sharded[2]": shard_seconds,
         }
         vec_speedups[(model, dataset)] = ref_seconds / vec_seconds
@@ -162,8 +386,11 @@ def test_engine_throughput(results_dir, request, sharded_backend):
             },
             "vectorized_speedup_vs_reference": vec_speedups[(model, dataset)],
             "fused_speedup_vs_vectorized": fused_speedups[(model, dataset)],
+            "plan_speedup_vs_fused": fused_seconds / plan_seconds,
+            "plan_dedup_ratio": planned_report.dedup_ratio,
             "cache_hit_rate": report.cache_hit_rate,
             "fused_profile": fused_report.profile,
+            "planned_profile": planned_report.profile,
         }
         for name, s in seconds.items():
             trajectory.append(
@@ -179,7 +406,7 @@ def test_engine_throughput(results_dir, request, sharded_backend):
     table = format_table(
         [
             "workload", "tiles", "ref t/s", "vec t/s", "fused t/s",
-            "shard2 t/s", "vec/ref", "fused/vec",
+            "plan t/s", "shard2 t/s", "vec/ref", "fused/vec",
         ],
         rows,
         title="engine throughput — backend comparison (tiles/sec)",
@@ -188,12 +415,8 @@ def test_engine_throughput(results_dir, request, sharded_backend):
     (results_dir / "engine_throughput.json").write_text(
         json.dumps(payload, indent=2) + "\n"
     )
-    BENCH_TRAJECTORY.write_text(
-        json.dumps(
-            {"schema": 1, "quick": quick, "entries": trajectory}, indent=2
-        )
-        + "\n"
-    )
+    _check_regression(trajectory)
+    _append_trajectory(trajectory, quick)
 
     assert vec_speedups[("vgg16", "cifar10")] >= MIN_VGG16_SPEEDUP, (
         f"vectorized backend speedup {vec_speedups[('vgg16', 'cifar10')]:.2f}x "
@@ -202,6 +425,105 @@ def test_engine_throughput(results_dir, request, sharded_backend):
     assert fused_speedups[("vgg16", "cifar10")] >= MIN_FUSED_SPEEDUP, (
         f"fused backend speedup {fused_speedups[('vgg16', 'cifar10')]:.2f}x over "
         f"vectorized, below the {MIN_FUSED_SPEEDUP}x contract on VGG-16"
+    )
+
+
+def test_trace_planner_speedup(results_dir, request):
+    """Trace-planned fused >= 1.5x over per-matrix fused on a
+    multi-timestep trace (this PR's contract).
+
+    The trace unrolls LeNet-5 over ``PLAN_TIME_STEPS`` timesteps with
+    distinct matrix copies: exactly the small-workload regime where
+    per-matrix batching underutilizes (every layer re-packs, re-dedups,
+    and launches its own underfilled kernels) and where the planner's
+    cross-workload buckets + global content dedup pay off. Numbers are
+    recorded into the ``BENCH_engine.json`` trajectory alongside the
+    single-trace grid, so the LeNet-vs-VGG throughput gap is chartable.
+    """
+    quick = request.config.getoption("--quick")
+    repeats = 2 if quick else 4
+    base = get_trace("lenet5", "mnist", preset="small")
+    trace = _repeat_trace(base, PLAN_TIME_STEPS)
+    matrix_run = _engine_run("fused")
+    planned_run = _engine_run("fused", plan="trace")
+
+    # Bit-identity first: planner records equal per-matrix fused records
+    # on the unrolled trace, workload for workload.
+    matrix_report = matrix_run(trace)
+    planned_report = planned_run(trace)
+    for mine, theirs in zip(planned_report.runs, matrix_report.runs):
+        assert np.array_equal(mine.records, theirs.records), mine.name
+    assert planned_report.dedup_ratio >= PLAN_TIME_STEPS * 0.9, (
+        "unrolled timesteps should dedup to ~one copy, got "
+        f"{planned_report.dedup_ratio:.2f}x"
+    )
+
+    matrix_seconds = _best_of(lambda: matrix_run(trace), repeats)
+    plan_seconds = _best_of(lambda: planned_run(trace), repeats)
+    if matrix_seconds / plan_seconds < MIN_PLAN_SPEEDUP:
+        # Noisy-neighbor guard, as for the VGG-16 contracts.
+        matrix_seconds = _best_of(lambda: matrix_run(trace), repeats + 3)
+        plan_seconds = _best_of(lambda: planned_run(trace), repeats + 3)
+    speedup = matrix_seconds / plan_seconds
+    tiles = matrix_report.total_tiles
+    workload = f"{trace.model}/{trace.dataset}"
+
+    payload = {
+        "workload": workload,
+        "time_steps": PLAN_TIME_STEPS,
+        "tiles": int(tiles),
+        "fused_tiles_per_sec": tiles / matrix_seconds,
+        "plan_tiles_per_sec": tiles / plan_seconds,
+        "plan_speedup_vs_fused": speedup,
+        "dedup_ratio": planned_report.dedup_ratio,
+        "planned_profile": planned_report.profile,
+    }
+    (results_dir / "engine_planner.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    save_result(
+        "engine_planner",
+        format_table(
+            ["workload", "tiles", "fused t/s", "plan t/s", "plan/fused", "dedup"],
+            [[
+                workload,
+                tiles,
+                f"{tiles / matrix_seconds:,.0f}",
+                f"{tiles / plan_seconds:,.0f}",
+                format_ratio(speedup),
+                format_ratio(planned_report.dedup_ratio),
+            ]],
+            title=(
+                "trace planner — multi-timestep trace "
+                f"({PLAN_TIME_STEPS} timesteps, cross-workload dedup)"
+            ),
+        ),
+    )
+    # The reference backend is never timed on the unrolled trace, so
+    # these rows are normalized against per-matrix fused instead — a
+    # distinct field, so charts and the guard never mix normalizations.
+    _append_trajectory(
+        [
+            {
+                "workload": workload,
+                "backend": "fused",
+                "tiles": int(tiles),
+                "tiles_per_sec": tiles / matrix_seconds,
+            },
+            {
+                "workload": workload,
+                "backend": "fused+plan",
+                "tiles": int(tiles),
+                "tiles_per_sec": tiles / plan_seconds,
+                "speedup_vs_fused": speedup,
+            },
+        ],
+        quick,
+    )
+
+    assert speedup >= MIN_PLAN_SPEEDUP, (
+        f"trace planner speedup {speedup:.2f}x over per-matrix fused on "
+        f"{workload}, below the {MIN_PLAN_SPEEDUP}x contract"
     )
 
 

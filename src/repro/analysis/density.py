@@ -49,9 +49,17 @@ def trace_prosparsity_stats(
 
     ``engine``, when given, must be a
     :class:`repro.engine.ProsperityEngine`; its backend and forest cache
-    then carry the transforms (bit-identical stats, faster sweeps).
+    then carry the transforms (bit-identical stats, faster sweeps). An
+    engine with ``plan="trace"`` transforms the whole trace in one
+    cross-workload plan — same stats, one kernel per tile shape.
     """
     stats = ProSparsityStats()
+    if engine is not None and getattr(engine, "plan", "matrix") == "trace":
+        for result in engine.transform_trace(
+            trace.workloads, tile_m, tile_k, max_tiles=max_tiles, rng=rng
+        ):
+            stats.merge(result.stats)
+        return stats
     for workload in trace.workloads:
         if engine is None:
             result = transform_matrix(

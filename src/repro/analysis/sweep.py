@@ -35,6 +35,7 @@ def _latency_ratio(
     max_tiles: int,
     rng: np.random.Generator,
     backend="reference",
+    plan: str = "matrix",
 ) -> float:
     """Prosperity-vs-bit-sparsity latency on the same hardware.
 
@@ -45,7 +46,7 @@ def _latency_ratio(
     pro_cycles = 0.0
     bit_cycles = 0.0
     engine = ProsperityEngine(
-        backend=backend, tile_m=config.tile_m, tile_k=config.tile_k
+        backend=backend, tile_m=config.tile_m, tile_k=config.tile_k, plan=plan
     )
     for trace in traces:
         pro = ProsperitySimulator(
@@ -70,6 +71,7 @@ def sweep_tile_sizes(
     rng: np.random.Generator | None = None,
     backend: str = "reference",
     workers: int | None = None,
+    plan: str = "matrix",
 ) -> tuple[list[SweepPoint], list[SweepPoint]]:
     """Fig. 7's two sweeps: vary m at fixed k, and k at fixed m.
 
@@ -78,14 +80,20 @@ def sweep_tile_sizes(
     grow super-linearly with m. ``backend`` selects the transform
     implementation (results are backend-independent; the ``fused`` and
     ``sharded`` backends just finish the sweep faster); ``workers``
-    forwards a process count to the ``sharded`` backend.
+    forwards a process count to the ``sharded`` backend; ``plan="trace"``
+    routes each configuration's transforms through the trace-level
+    planner (identical sweep points, cross-workload batching). Backends
+    constructed here (by name) are closed before returning, so repeated
+    sweeps never leak worker pools.
     """
     rng = rng if rng is not None else np.random.default_rng(0)
     base = base_config if base_config is not None else ProsperityConfig()
     base_area = area_model(base).total
-    engine = ProsperityEngine(backend=backend, workers=workers)
+    engine = ProsperityEngine(backend=backend, workers=workers, plan=plan)
     # One backend instance for the whole sweep: every per-config engine
     # below reuses it (for `sharded`, that means one process pool).
+    # engine.close() below releases it only if it was built from a name
+    # here — caller-supplied instances stay open for their other users.
     shared_backend = engine.backend
 
     def evaluate(m: int, k: int) -> SweepPoint:
@@ -111,13 +119,16 @@ def sweep_tile_sizes(
             product_density=stats_total.product_density,
             bit_density=stats_total.bit_density,
             latency_vs_bit=_latency_ratio(
-                traces, config, max_tiles, rng, shared_backend
+                traces, config, max_tiles, rng, shared_backend, plan
             ),
             area_mm2=area,
             relative_area=area / base_area,
             relative_power_proxy=power_proxy,
         )
 
-    m_sweep = [evaluate(m, base.tile_k) for m in m_values]
-    k_sweep = [evaluate(base.tile_m, k) for k in k_values]
+    try:
+        m_sweep = [evaluate(m, base.tile_k) for m in m_values]
+        k_sweep = [evaluate(base.tile_m, k) for k in k_values]
+    finally:
+        engine.close()
     return m_sweep, k_sweep

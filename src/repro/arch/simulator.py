@@ -74,6 +74,12 @@ class ProsperitySimulator:
     workers:
         Process count forwarded to the ``sharded`` backend (``None``
         leaves the backend default; other backends reject it).
+    plan:
+        Execution-planning mode for the transform (``"matrix"`` or
+        ``"trace"``); under ``"trace"`` :meth:`simulate` transforms the
+        whole trace in one cross-workload plan instead of per workload.
+        Simulation results are identical — only wall-clock changes.
+        Ignored when a pre-built ``engine`` is given (its plan wins).
     engine:
         Pre-built :class:`ProsperityEngine` to share a forest cache
         across simulators; overrides ``backend`` when given.
@@ -87,6 +93,7 @@ class ProsperitySimulator:
         rng: np.random.Generator | None = None,
         backend: str | Backend = "reference",
         workers: int | None = None,
+        plan: str = "matrix",
         engine: ProsperityEngine | None = None,
     ):
         if mode not in MODES:
@@ -95,6 +102,7 @@ class ProsperitySimulator:
         self.mode = mode
         self.max_tiles = max_tiles_per_workload
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._owns_engine = engine is None
         self.engine = (
             engine
             if engine is not None
@@ -103,6 +111,7 @@ class ProsperitySimulator:
                 tile_m=config.tile_m,
                 tile_k=config.tile_k,
                 workers=workers,
+                plan=plan,
             )
         )
         self.memory = MemorySystem(config)
@@ -111,23 +120,52 @@ class ProsperitySimulator:
         self.energy = EnergyModel(config)
         self.name = f"prosperity[{mode}]" if mode != MODE_PROSPERITY else "prosperity"
 
+    @property
+    def plan(self) -> str:
+        """The engine's execution-planning mode."""
+        return self.engine.plan
+
+    def close(self) -> None:
+        """Release engine resources (e.g. a sharded worker pool).
+
+        Only engines this simulator constructed are closed; a shared
+        ``engine=`` passed in stays open for its other users (same
+        ownership rule as ``sweep_tile_sizes``).
+        """
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "ProsperitySimulator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
-    def _records_for(self, workload: GeMMWorkload) -> tuple[np.ndarray, float]:
-        """Tile records plus the fraction of tiles they cover."""
+    def _records_for(
+        self, workload: GeMMWorkload, transform=None
+    ) -> tuple[np.ndarray, float]:
+        """Tile records plus the fraction of tiles they cover.
+
+        ``transform``, when given, is a precomputed
+        :class:`~repro.core.prosparsity.ProSparsityResult` from a
+        trace-level plan (bit-identical to transforming here).
+        """
         if self.mode in (MODE_DENSE, MODE_BIT):
             records = _light_records(
                 workload.spikes, self.config.tile_m, self.config.tile_k
             )
             return records, 1.0
-        result = self.engine.transform_matrix(
-            workload.spikes,
-            self.config.tile_m,
-            self.config.tile_k,
-            keep_transforms=False,
-            max_tiles=self.max_tiles,
-            rng=self.rng,
-        )
-        return result.tile_records, result.stats.sample_fraction
+        if transform is None:
+            transform = self.engine.transform_matrix(
+                workload.spikes,
+                self.config.tile_m,
+                self.config.tile_k,
+                keep_transforms=False,
+                max_tiles=self.max_tiles,
+                rng=self.rng,
+            )
+        return transform.tile_records, transform.stats.sample_fraction
 
     def _traffic(self, workload: GeMMWorkload) -> TrafficSummary:
         if workload.kind == "attention":
@@ -223,9 +261,11 @@ class ProsperitySimulator:
         return breakdown
 
     # ------------------------------------------------------------------
-    def simulate_workload(self, workload: GeMMWorkload) -> LayerResult:
+    def simulate_workload(
+        self, workload: GeMMWorkload, transform=None
+    ) -> LayerResult:
         """Latency + energy for one spiking GeMM."""
-        records, fraction = self._records_for(workload)
+        records, fraction = self._records_for(workload, transform)
         inv = 1.0 / fraction
         total, compute, exposed = pipeline_tile_cycles(
             self.config, records, workload.n, self.mode
@@ -260,16 +300,35 @@ class ProsperitySimulator:
         )
 
     def simulate(self, trace: ModelTrace) -> SimReport:
-        """Simulate a full model trace."""
+        """Simulate a full model trace.
+
+        Under ``plan="trace"`` the ProSparsity transform runs once over
+        the whole trace (cross-workload shape buckets, global content
+        dedup) instead of per workload; the per-layer records — and
+        therefore every latency/energy number — are bit-identical.
+        """
         report = SimReport(
             accelerator=self.name,
             model=trace.model,
             dataset=trace.dataset,
             frequency_hz=self.config.frequency_hz,
         )
-        for workload in trace.workloads:
-            report.layers.append(self.simulate_workload(workload))
+        transforms = self._trace_transforms(trace)
+        for workload, transform in zip(trace.workloads, transforms):
+            report.layers.append(self.simulate_workload(workload, transform))
         return report
+
+    def _trace_transforms(self, trace: ModelTrace) -> list:
+        """Whole-trace transform results when trace planning is on."""
+        if self.engine.plan != "trace" or self.mode in (MODE_DENSE, MODE_BIT):
+            return [None] * len(trace.workloads)
+        return self.engine.transform_trace(
+            trace.workloads,
+            self.config.tile_m,
+            self.config.tile_k,
+            max_tiles=self.max_tiles,
+            rng=self.rng,
+        )
 
     @property
     def area_mm2(self) -> float:

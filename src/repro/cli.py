@@ -11,6 +11,7 @@ Examples
     repro scaling  --model vgg16 --dataset cifar10
     repro run      --model vgg16 --backend fused --batch 8 --verify
     repro run      --model vgg16 --backend sharded --workers 4
+    repro run      --model vgg16 --backend fused --plan trace
 
 (Also runnable as ``python -m repro.cli`` when not installed.)
 """
@@ -29,7 +30,7 @@ from repro.analysis.tradeoff import breakeven_sparsity_increase, evaluate_tradeo
 from repro.arch.scaling import scaling_study
 from repro.arch.simulator import ProsperitySimulator
 from repro.baselines import BASELINES
-from repro.engine import ProsperityEngine, available_backends
+from repro.engine import PLAN_MODES, ProsperityEngine, available_backends
 from repro.workloads import get_trace
 
 
@@ -55,6 +56,12 @@ def _add_backend_arg(parser: argparse.ArgumentParser, default: str = "reference"
         "--workers", type=int, default=None,
         help="process count for the sharded backend "
         "(other backends reject this option)",
+    )
+    parser.add_argument(
+        "--plan", default="matrix", choices=PLAN_MODES,
+        help="execution planning scope: 'matrix' batches per workload, "
+        "'trace' buckets and dedups tiles across the whole trace "
+        "(identical results; trace is the fast path for many workloads)",
     )
 
 
@@ -86,10 +93,11 @@ def cmd_simulate(args: argparse.Namespace) -> str:
     reports = {}
     for name in ("eyeriss", "ptb", "sato", "mint", "stellar", "a100"):
         reports[name] = BASELINES[name]().simulate(trace)
-    reports["prosperity"] = ProsperitySimulator(
+    with ProsperitySimulator(
         max_tiles_per_workload=_max_tiles(args), rng=rng, backend=args.backend,
-        workers=args.workers,
-    ).simulate(trace)
+        workers=args.workers, plan=args.plan,
+    ) as simulator:
+        reports["prosperity"] = simulator.simulate(trace)
     base = reports["eyeriss"]
     rows = [
         [
@@ -118,6 +126,7 @@ def cmd_sweep(args: argparse.Namespace) -> str:
         rng=np.random.default_rng(args.seed),
         backend=args.backend,
         workers=args.workers,
+        plan=args.plan,
     )
     rows = [
         [p.tile_m, p.tile_k, format_percent(p.product_density),
@@ -161,7 +170,8 @@ def cmd_run(args: argparse.Namespace) -> str:
     """Batched end-to-end engine run: the high-throughput transform path."""
     trace = get_trace(args.model, args.dataset, args.preset, args.seed)
     engine = ProsperityEngine(
-        backend=args.backend, cache_size=args.cache_size, workers=args.workers
+        backend=args.backend, cache_size=args.cache_size, workers=args.workers,
+        plan=args.plan,
     )
     report = engine.run(trace, batch=args.batch)
     rows = [
@@ -202,6 +212,12 @@ def cmd_run(args: argparse.Namespace) -> str:
     )
     if report.workers is not None:
         footer += f"\nworkers: {report.workers}"
+    if report.plan == "trace":
+        footer += (
+            f"\nplan: trace — {report.planned_tiles} tiles -> "
+            f"{report.unique_tiles} unique "
+            f"({report.dedup_ratio:.2f}x cross-workload dedup)"
+        )
     if report.profile:
         footer += "\nprofile: " + "  ".join(
             f"{stage}={seconds * 1e3:.1f}ms"
@@ -213,9 +229,7 @@ def cmd_run(args: argparse.Namespace) -> str:
                 f"backend {report.backend!r} diverged from the reference oracle"
             )
         footer += "\nverify: tile records bit-identical to the reference backend"
-    close = getattr(engine.backend, "close", None)
-    if close is not None:
-        close()
+    engine.close()
     return table + footer
 
 

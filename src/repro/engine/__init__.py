@@ -4,8 +4,11 @@ The engine is the throughput layer above :mod:`repro.core`: it chooses a
 :class:`~repro.engine.backends.Backend` (``reference`` oracle, bulk
 ``vectorized`` NumPy, tile-batched ``fused`` kernels, or multiprocess
 ``sharded`` execution), batches whole-network traces, and caches per-tile
-forests by content hash. Every backend is bit-identical to the core
-transform; the engine only changes *how fast* the answer arrives.
+forests by content hash. :mod:`repro.engine.planner` lifts batching to
+trace scope (``plan="trace"``): cross-workload shape buckets, one global
+content dedup per bucket, and arena-backed buffers reused across runs.
+Every backend and plan mode is bit-identical to the core transform; the
+engine only changes *how fast* the answer arrives.
 """
 
 from repro.engine.backends import (
@@ -18,6 +21,13 @@ from repro.engine.backends import (
 )
 from repro.engine.fused import FusedBackend
 from repro.engine.parallel import ShardedBackend
+from repro.engine.planner import (
+    PLAN_MODES,
+    BufferArena,
+    TracePlan,
+    TracePlanner,
+    validate_plan_mode,
+)
 from repro.engine.pipeline import (
     EngineReport,
     ForestCache,
@@ -28,13 +38,18 @@ from repro.engine.pipeline import (
 
 __all__ = [
     "Backend",
+    "BufferArena",
     "FusedBackend",
+    "PLAN_MODES",
     "ReferenceBackend",
     "ShardedBackend",
+    "TracePlan",
+    "TracePlanner",
     "VectorizedBackend",
     "available_backends",
     "get_backend",
     "register_backend",
+    "validate_plan_mode",
     "EngineReport",
     "ForestCache",
     "ProsperityEngine",

@@ -64,6 +64,22 @@ class Backend(ABC):
 
     name: str = "abstract"
 
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (worker pools etc.); idempotent.
+
+        Most backends hold none — the base implementation is a no-op —
+        but callers that construct backends by name should always close
+        them (or use the backend as a context manager) so pool-backed
+        backends like ``sharded`` never leak processes.
+        """
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # -- transform ------------------------------------------------------
     @abstractmethod
     def forest(self, tile: SpikeTile) -> ProSparsityForest:

@@ -55,6 +55,10 @@ from repro.utils.bitops import popcount_rows
 __all__ = [
     "FusedBackend",
     "PROFILE_STAGES",
+    "build_tile_groups",
+    "build_tile_parts",
+    "cached_unique_records",
+    "dedup_tiles",
     "max_chain_depth_batch",
     "padded_codes",
     "records_from_codes_batch",
@@ -240,15 +244,18 @@ class _TileGroup:
         self.positions = positions  # (T,) row-major tile indices in the matrix
 
 
-def build_tile_groups(
+def build_tile_parts(
     matrix: SpikeMatrix, tile_m: int, tile_k: int
-) -> tuple[list[_TileGroup], int]:
-    """Pack a matrix once and stack its tiles into same-shape groups.
+) -> dict[tuple[int, int], list[tuple]]:
+    """Pack a matrix once into per-shape chunk lists (no concatenation).
 
-    Each column block is packed and padded a single time; tile stacks are
-    reshaped row slices of the block arrays (full-size row blocks) plus
-    the ragged tail. Returns ``(groups, total_tiles)``; group positions
-    index tiles in the row-major order of :meth:`SpikeMatrix.tile`.
+    Each column block is packed and padded a single time; tile stacks
+    are reshaped row slices of the block arrays (full-size row blocks)
+    plus the ragged tail. Returns ``{(m, k): [(nbytes, codes, pops,
+    raw, positions), ...]}`` with positions in the row-major order of
+    :meth:`SpikeMatrix.tile`. Callers that assemble their own stacks
+    (the trace planner's arena buckets) consume the chunks directly and
+    skip the per-matrix concatenate :func:`build_tile_groups` performs.
     """
     bits = matrix.bits
     rows, cols = bits.shape
@@ -298,7 +305,19 @@ def build_tile_groups(
                     np.array([n_full * n_cb + cb]),
                 )
             )
+    return parts
 
+
+def build_tile_groups(
+    matrix: SpikeMatrix, tile_m: int, tile_k: int
+) -> tuple[list[_TileGroup], int]:
+    """Pack a matrix once and stack its tiles into same-shape groups.
+
+    Concatenated-group form of :func:`build_tile_parts`. Returns
+    ``(groups, total_tiles)``; group positions index tiles in the
+    row-major order of :meth:`SpikeMatrix.tile`.
+    """
+    parts = build_tile_parts(matrix, tile_m, tile_k)
     groups = []
     for (m, k), chunks in parts.items():
         nbytes = chunks[0][0]
@@ -313,7 +332,54 @@ def build_tile_groups(
                 positions=np.concatenate([c[4] for c in chunks]),
             )
         )
-    return groups, (n_full + (1 if tail else 0)) * n_cb
+    return groups, matrix.num_tiles(tile_m, tile_k)
+
+
+def cached_unique_records(
+    m: int,
+    k: int,
+    raw: np.ndarray,
+    first: np.ndarray,
+    inverse: np.ndarray,
+    compute,
+    cache,
+    add_seconds,
+) -> np.ndarray:
+    """Records for a deduplicated stack: cache per unique, expand back.
+
+    The one cache-interaction protocol shared by the fused per-matrix
+    path and the trace planner: look up each unique content (``first``
+    indexes into ``raw``) by a key hashed once, call ``compute(rows)``
+    for the misses only, fill the cache, and expand through ``inverse``
+    to the full stack. ``add_seconds`` receives the cache/dedup traffic
+    time so each caller can book it under its own profile stage.
+    """
+    start = time.perf_counter()
+    n_unique = len(first)
+    unique_records = np.empty((n_unique, len(TILE_RECORD_FIELDS)), dtype=np.int64)
+    if cache is not None:
+        keys = [cache.key(m, k, raw[i]) for i in first]
+        missing_list = []
+        for i, key in enumerate(keys):
+            record = cache.get_record_by_key(key)
+            if record is None:
+                missing_list.append(i)
+            else:
+                unique_records[i] = record
+        missing = np.array(missing_list, dtype=np.int64)
+    else:
+        keys = None
+        missing = np.arange(n_unique)
+    add_seconds(time.perf_counter() - start)
+    if missing.size:
+        computed = compute(first[missing])
+        unique_records[missing] = computed
+        if cache is not None:
+            start = time.perf_counter()
+            for i, row in zip(missing.tolist(), computed.tolist()):
+                cache.put_record_by_key(keys[i], tuple(row))
+            add_seconds(time.perf_counter() - start)
+    return unique_records[inverse]
 
 
 def dedup_tiles(raw: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -358,37 +424,23 @@ class FusedBackend(VectorizedBackend):
         """Records for one shape group: dedup, cache, one batched kernel."""
         start = time.perf_counter()
         first, inverse = dedup_tiles(group.raw)
-        n_unique = len(first)
-        unique_records = np.empty(
-            (n_unique, len(TILE_RECORD_FIELDS)), dtype=np.int64
-        )
-        if cache is not None:
-            keys = [
-                cache.key(group.m, group.k, group.raw[i]) for i in first
-            ]
-            cached = [cache.get_record_by_key(key) for key in keys]
-            missing = np.array(
-                [i for i, rec in enumerate(cached) if rec is None], dtype=np.int64
-            )
-            for i, rec in enumerate(cached):
-                if rec is not None:
-                    unique_records[i] = rec
-        else:
-            keys = None
-            missing = np.arange(n_unique)
         self.profile["merge"] += time.perf_counter() - start
-        if missing.size:
-            rows = first[missing]
-            computed = self._compute_records(
+
+        def add_merge_seconds(seconds: float) -> None:
+            self.profile["merge"] += seconds
+
+        return cached_unique_records(
+            group.m,
+            group.k,
+            group.raw,
+            first,
+            inverse,
+            lambda rows: self._compute_records(
                 group.codes[rows], group.popcounts[rows], group.k
-            )
-            unique_records[missing] = computed
-            if cache is not None:
-                start = time.perf_counter()
-                for i, row in zip(missing, computed.tolist()):
-                    cache.put_record_by_key(keys[i], tuple(row))
-                self.profile["merge"] += time.perf_counter() - start
-        return unique_records[inverse]
+            ),
+            cache,
+            add_merge_seconds,
+        )
 
     def _compute_records(
         self, codes: np.ndarray, popcounts: np.ndarray, k: int

@@ -68,6 +68,11 @@ def _worker_records(payload: tuple) -> tuple[bytes, float, float]:
 class ShardedBackend(FusedBackend):
     """Fused kernels sharded across a persistent process pool.
 
+    The pool is spawned lazily on first use, persists across calls, and
+    is released by :meth:`close` (idempotent) or by using the backend as
+    a context manager — sweep loops and repeated simulator construction
+    must route through one of those so pools are reused, never leaked.
+
     Parameters
     ----------
     workers:
@@ -85,11 +90,16 @@ class ShardedBackend(FusedBackend):
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
         self._pool: ProcessPoolExecutor | None = None
+        #: Pools spawned over this backend's lifetime. Stays at 1 across
+        #: any number of calls (and at 0 until the pool path engages) —
+        #: sweep loops and repeated engine runs must reuse, not respawn.
+        self.pools_spawned = 0
 
     # -- pool lifecycle -------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self.pools_spawned += 1
         return self._pool
 
     def close(self) -> None:

@@ -37,6 +37,11 @@ from repro.core.prosparsity import (
 )
 from repro.core.spike_matrix import SpikeMatrix, SpikeTile
 from repro.engine.backends import Backend, ReferenceBackend, get_backend
+from repro.engine.planner import (
+    PLANNED_PROFILE_STAGES,
+    TracePlanner,
+    validate_plan_mode,
+)
 from repro.snn.trace import GeMMWorkload, ModelTrace
 
 __all__ = [
@@ -182,7 +187,13 @@ class EngineReport:
     packing, padding, layer stacking), ``select`` (prefix selection
     kernels / worker dispatch), ``record`` (residual popcounts, depths,
     record assembly), ``merge`` (dedup, cache traffic, scatter).
-    ``workers`` echoes the process count for sharded runs.
+    Trace-planned runs (``plan == "trace"``) add the planner stages
+    ``plan`` (bucket merge / arena fill), ``dedup`` (global content
+    dedup + cache traffic), and ``scatter`` (per-workload scatter-back);
+    stage times are nested inside the run's wall-clock, so they always
+    sum to at most :attr:`total_seconds`. ``workers`` echoes the process
+    count for sharded runs; ``planned_tiles``/``unique_tiles`` describe
+    the cross-workload dedup for planned runs.
     """
 
     backend: str
@@ -196,6 +207,9 @@ class EngineReport:
     cache_misses: int = 0
     workers: int | None = None
     profile: dict[str, float] = field(default_factory=dict)
+    plan: str = "matrix"
+    planned_tiles: int = 0
+    unique_tiles: int = 0
 
     @property
     def total_tiles(self) -> int:
@@ -214,6 +228,14 @@ class EngineReport:
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Cross-workload dedup multiplier: planned tiles per unique tile.
+
+        ``0.0`` outside trace-planned runs (no dedup was measured).
+        """
+        return self.planned_tiles / self.unique_tiles if self.unique_tiles else 0.0
 
     @property
     def stats(self) -> ProSparsityStats:
@@ -236,6 +258,13 @@ class ProsperityEngine:
     workers:
         Process count for the ``sharded`` backend (rejected by backends
         that do not take it; ``None`` leaves the backend default).
+    plan:
+        Execution-planning mode: ``"matrix"`` batches per matrix (the
+        classic fused path), ``"trace"`` routes whole-trace runs and
+        GeMM execution through the :class:`~repro.engine.planner.
+        TracePlanner` — cross-workload shape buckets, one global content
+        dedup per bucket, arena-backed buffers reused across runs.
+        Records are bit-identical either way.
     """
 
     def __init__(
@@ -245,12 +274,34 @@ class ProsperityEngine:
         tile_k: int = DEFAULT_TILE_K,
         cache_size: int = 1024,
         workers: int | None = None,
+        plan: str = "matrix",
     ):
         validate_tile_shape(tile_m, tile_k)
+        # Ownership rule: backends constructed here (from a name) are
+        # ours to close; caller-supplied instances stay open for their
+        # other users.
+        self._owns_backend = not isinstance(backend, Backend)
         self.backend = get_backend(backend, workers=workers)
         self.tile_m = tile_m
         self.tile_k = tile_k
         self.cache = ForestCache(cache_size) if cache_size else None
+        self.plan = validate_plan_mode(plan)
+        self.planner = TracePlanner()
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Release engine resources: arena slabs always, and the
+        backend (e.g. the sharded worker pool) when this engine
+        constructed it from a name — shared instances stay open."""
+        self.planner.arena.clear()
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "ProsperityEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _forest_for(self, tile: SpikeTile) -> ProSparsityForest:
@@ -282,13 +333,16 @@ class ProsperityEngine:
         keep_transforms: bool = False,
         max_tiles: int | None = None,
         rng: np.random.Generator | None = None,
+        plan: str | None = None,
     ) -> ProSparsityResult:
         """Drop-in, cache-aware equivalent of ``core.transform_matrix``.
 
         Records, statistics, and (when kept) forests are bit-identical to
-        the core path for every backend; sampling draws the same RNG
-        sequence so sampled runs match the core path tile for tile.
+        the core path for every backend and plan mode; sampling draws the
+        same RNG sequence so sampled runs match the core path tile for
+        tile. ``plan`` overrides the engine's planning mode per call.
         """
+        plan = self.plan if plan is None else validate_plan_mode(plan)
         tile_m = self.tile_m if tile_m is None else tile_m
         tile_k = self.tile_k if tile_k is None else tile_k
         validate_tile_shape(tile_m, tile_k)
@@ -306,19 +360,29 @@ class ProsperityEngine:
         else:
             fraction = 1.0
 
-        if keep_transforms or sampled:
+        if keep_transforms:
             tile_iter = tiles if sampled else matrix.tile(tile_m, tile_k)
             records: list[tuple[int, ...]] = []
             for tile in tile_iter:
-                if keep_transforms:
-                    forest = self._forest_for(tile)
-                    plan = build_dispatch_plan(forest)
-                    result.transforms.append(
-                        TileTransform(tile=tile, forest=forest, plan=plan)
-                    )
-                    records.append(forest_record(forest))
-                else:
-                    records.append(self._tile_record_cached(tile))
+                forest = self._forest_for(tile)
+                dispatch = build_dispatch_plan(forest)
+                result.transforms.append(
+                    TileTransform(tile=tile, forest=forest, plan=dispatch)
+                )
+                records.append(forest_record(forest))
+            record_array = np.array(records, dtype=np.int64).reshape(
+                len(records), len(TILE_RECORD_FIELDS)
+            )
+        elif plan == "trace":
+            # Planner path: sampled tiles and whole matrices land in the
+            # same shape buckets, so sampling composes with the dedup.
+            source = tiles if sampled else matrix
+            trace_plan = self.planner.plan([source], tile_m, tile_k)
+            record_array = self.planner.execute(
+                trace_plan, self.backend, cache=self.cache
+            )[0]
+        elif sampled:
+            records = [self._tile_record_cached(tile) for tile in tiles]
             record_array = np.array(records, dtype=np.int64).reshape(
                 len(records), len(TILE_RECORD_FIELDS)
             )
@@ -329,6 +393,76 @@ class ProsperityEngine:
         result.tile_records = record_array
         result.stats = stats_from_records(record_array, sample_fraction=fraction)
         return result
+
+    # ------------------------------------------------------------------
+    def transform_trace(
+        self,
+        trace: ModelTrace | list,
+        tile_m: int | None = None,
+        tile_k: int | None = None,
+        max_tiles: int | None = None,
+        rng: np.random.Generator | None = None,
+        plan: str | None = None,
+    ) -> list[ProSparsityResult]:
+        """Transform every workload of a trace, one result per workload.
+
+        Under ``plan="trace"`` the whole trace is packed into one
+        cross-workload plan (one kernel per shape bucket, one global
+        dedup); under ``plan="matrix"`` this is a plain per-workload
+        loop. Both draw the same RNG sequence for ``max_tiles`` sampling
+        — workloads are visited in order and only sampled workloads
+        consume draws — so records are bit-identical across modes.
+        Entries may be :class:`GeMMWorkload` or bare ``SpikeMatrix``.
+        """
+        plan = self.plan if plan is None else validate_plan_mode(plan)
+        tile_m = self.tile_m if tile_m is None else tile_m
+        tile_k = self.tile_k if tile_k is None else tile_k
+        validate_tile_shape(tile_m, tile_k)
+        workloads = list(trace.workloads if isinstance(trace, ModelTrace) else trace)
+        matrices = [
+            workload.spikes if hasattr(workload, "spikes") else workload
+            for workload in workloads
+        ]
+        matrices = [
+            matrix if isinstance(matrix, SpikeMatrix) else SpikeMatrix(matrix)
+            for matrix in matrices
+        ]
+        if plan != "trace":
+            return [
+                self.transform_matrix(
+                    matrix, tile_m, tile_k, max_tiles=max_tiles, rng=rng,
+                    plan=plan,
+                )
+                for matrix in matrices
+            ]
+        sources: list = []
+        fractions: list[float] = []
+        for matrix in matrices:
+            total_tiles = matrix.num_tiles(tile_m, tile_k)
+            if max_tiles is not None and total_tiles > max_tiles:
+                # rng=None mirrors transform_matrix exactly: that path
+                # seeds a fresh default_rng(0) per *workload*, so the
+                # trace plan must too or sampled tiles would diverge.
+                workload_rng = (
+                    rng if rng is not None else np.random.default_rng(0)
+                )
+                sampled = _sample_tiles(
+                    matrix, tile_m, tile_k, max_tiles, workload_rng
+                )
+                sources.append(sampled)
+                fractions.append(len(sampled) / total_tiles)
+            else:
+                sources.append(matrix)
+                fractions.append(1.0)
+        trace_plan = self.planner.plan(sources, tile_m, tile_k)
+        per_workload = self.planner.execute(trace_plan, self.backend, self.cache)
+        results = []
+        for records, fraction in zip(per_workload, fractions):
+            result = ProSparsityResult()
+            result.tile_records = records
+            result.stats = stats_from_records(records, sample_fraction=fraction)
+            results.append(result)
+        return results
 
     # ------------------------------------------------------------------
     def _batch_groups(
@@ -365,10 +499,19 @@ class ProsperityEngine:
         self,
         trace: ModelTrace | list[GeMMWorkload],
         batch: int = 1,
+        plan: str | None = None,
     ) -> EngineReport:
-        """Transform a whole trace, batching stackable layers/timesteps."""
+        """Transform a whole trace, batching stackable layers/timesteps.
+
+        ``plan`` overrides the engine's planning mode for this run:
+        ``"trace"`` packs the entire trace into cross-workload shape
+        buckets (one kernel launch and one global content dedup per
+        bucket), ``"matrix"`` is the per-matrix fused path. Records are
+        bit-identical either way; ``batch`` only affects matrix mode.
+        """
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
+        plan = self.plan if plan is None else validate_plan_mode(plan)
         if isinstance(trace, ModelTrace):
             workloads = list(trace.workloads)
             model, dataset = trace.model, trace.dataset
@@ -383,13 +526,30 @@ class ProsperityEngine:
             model=model,
             dataset=dataset,
             workers=getattr(self.backend, "workers", None),
+            plan=plan,
         )
         hits0 = self.cache.hits if self.cache else 0
         misses0 = self.cache.misses if self.cache else 0
         profile0 = dict(getattr(self.backend, "profile", None) or {})
+        if plan == "trace":
+            self._run_planned(workloads, report, profile0)
+        else:
+            self._run_batched(workloads, batch, report, profile0)
+        if self.cache:
+            report.cache_hits = self.cache.hits - hits0
+            report.cache_misses = self.cache.misses - misses0
+        return report
+
+    def _run_batched(
+        self,
+        workloads: list[GeMMWorkload],
+        batch: int,
+        report: EngineReport,
+        profile0: dict[str, float],
+    ) -> None:
+        """Per-matrix path: stack consecutive same-K layers, scatter back."""
         stack_seconds = 0.0
         scatter_seconds = 0.0
-
         for group in self._batch_groups(workloads, batch):
             start = time.perf_counter()
             if len(group) == 1:
@@ -402,34 +562,36 @@ class ProsperityEngine:
             records = self.backend.matrix_records(
                 stacked, self.tile_m, self.tile_k, cache=self.cache
             )
-            elapsed = time.perf_counter() - start
-            # Scatter stacked records back to their workloads.
+            # Scatter stacked records back to their workloads. The
+            # scatter happens *inside* the timed window so per-stage
+            # profile times always sum to <= the run's wall-clock.
             scatter_start = time.perf_counter()
             col_tiles = -(-group[0].k // self.tile_k)
             offset = 0
             total = len(records)
+            chunks = []
             for workload in group:
                 count = -(-workload.m // self.tile_m) * col_tiles
                 chunk = records[offset : offset + count]
                 offset += count
+                chunks.append((workload, chunk, stats_from_records(chunk)))
+            if offset != total:
+                raise RuntimeError(
+                    f"batch scatter mismatch: {offset} records assigned, {total} produced"
+                )
+            scatter_seconds += time.perf_counter() - scatter_start
+            elapsed = time.perf_counter() - start
+            for workload, chunk, stats in chunks:
                 report.runs.append(
                     WorkloadRun(
                         name=workload.name,
                         kind=workload.kind,
                         tiles=len(chunk),
                         records=chunk,
-                        stats=stats_from_records(chunk),
+                        stats=stats,
                         seconds=elapsed * (len(chunk) / total) if total else 0.0,
                     )
                 )
-            if offset != total:
-                raise RuntimeError(
-                    f"batch scatter mismatch: {offset} records assigned, {total} produced"
-                )
-            scatter_seconds += time.perf_counter() - scatter_start
-        if self.cache:
-            report.cache_hits = self.cache.hits - hits0
-            report.cache_misses = self.cache.misses - misses0
         backend_profile = getattr(self.backend, "profile", None)
         if backend_profile:
             report.profile = {
@@ -442,7 +604,56 @@ class ProsperityEngine:
             report.profile["merge"] = (
                 report.profile.get("merge", 0.0) + scatter_seconds
             )
-        return report
+
+    def _run_planned(
+        self,
+        workloads: list[GeMMWorkload],
+        report: EngineReport,
+        profile0: dict[str, float],
+    ) -> None:
+        """Trace path: one cross-workload plan, one kernel per bucket."""
+        profile = {stage: 0.0 for stage in PLANNED_PROFILE_STAGES}
+        start = time.perf_counter()
+        trace_plan = self.planner.plan(
+            [workload.spikes for workload in workloads],
+            self.tile_m,
+            self.tile_k,
+            profile=profile,
+        )
+        per_workload = self.planner.execute(
+            trace_plan, self.backend, cache=self.cache, profile=profile
+        )
+        # Per-workload stats are report assembly, not a pipeline stage:
+        # they stay inside the timed window (so stage sums remain
+        # bounded by wall-clock) but out of the profile breakdown.
+        entries = [
+            (workload, records, stats_from_records(records))
+            for workload, records in zip(workloads, per_workload)
+        ]
+        elapsed = time.perf_counter() - start
+        total = trace_plan.total_tiles
+        for workload, records, stats in entries:
+            report.runs.append(
+                WorkloadRun(
+                    name=workload.name,
+                    kind=workload.kind,
+                    tiles=len(records),
+                    records=records,
+                    stats=stats,
+                    seconds=elapsed * (len(records) / total) if total else 0.0,
+                )
+            )
+        report.planned_tiles = trace_plan.total_tiles
+        report.unique_tiles = trace_plan.unique_tiles
+        backend_profile = getattr(self.backend, "profile", None)
+        if backend_profile:
+            # Kernel stages (select/record) accumulate inside the
+            # backend; fold in the delta since the run started.
+            for stage, seconds in backend_profile.items():
+                profile[stage] = (
+                    profile.get(stage, 0.0) + seconds - profile0.get(stage, 0.0)
+                )
+        report.profile = profile
 
     # ------------------------------------------------------------------
     def execute_gemm(
@@ -455,7 +666,12 @@ class ProsperityEngine:
         """Lossless spiking GeMM through the configured backend.
 
         Same contract as ``core.execute_gemm``; repeated tile contents
-        reuse cached forests.
+        reuse cached forests. Under ``plan="trace"`` tiles route through
+        the planner's shape buckets: each *distinct* tile content builds
+        its forest once per GeMM (content dedup on top of the cache) and
+        partial sums still accumulate in row-major tile order, so
+        outputs match the per-tile path exactly (integer weights) or up
+        to float summation order, same as every backend pair.
         """
         tile_m = self.tile_m if tile_m is None else tile_m
         tile_k = self.tile_k if tile_k is None else tile_k
@@ -472,6 +688,11 @@ class ProsperityEngine:
             np.int64 if np.issubdtype(weights.dtype, np.integer) else np.float64
         )
         output = np.zeros((spike_matrix.rows, weights.shape[1]), dtype=out_dtype)
+        if self.plan == "trace":
+            self._execute_gemm_planned(
+                spike_matrix, weights, tile_m, tile_k, output
+            )
+            return output
         for tile in spike_matrix.tile(tile_m, tile_k):
             forest = self._forest_for(tile)
             w_slice = weights[tile.coord.col_start : tile.coord.col_start + tile.k]
@@ -479,6 +700,43 @@ class ProsperityEngine:
             rows = slice(tile.coord.row_start, tile.coord.row_start + tile.m)
             output[rows] += partial
         return output
+
+    def _execute_gemm_planned(
+        self,
+        spike_matrix: SpikeMatrix,
+        weights: np.ndarray,
+        tile_m: int,
+        tile_k: int,
+        output: np.ndarray,
+    ) -> None:
+        """Planner-bucketed GeMM: one forest per distinct tile content."""
+        trace_plan = self.planner.plan([spike_matrix], tile_m, tile_k)
+        col_tiles = -(-spike_matrix.cols // tile_k)
+        partials: list[np.ndarray | None] = [None] * trace_plan.total_tiles
+        for bucket in trace_plan.buckets:
+            forests: dict[int, ProSparsityForest] = {}
+            for index in range(bucket.tiles):
+                unique = int(bucket.inverse[index])
+                forest = forests.get(unique)
+                if forest is None:
+                    tile = next(
+                        TracePlanner._tiles_from_raw(
+                            bucket, bucket.first[unique : unique + 1]
+                        )
+                    )
+                    forest = self._forest_for(tile)
+                    forests[unique] = forest
+                position = int(bucket.position[index])
+                col_start = (position % col_tiles) * tile_k
+                w_slice = weights[col_start : col_start + bucket.k]
+                partials[position] = self.backend.execute(forest, w_slice)
+        # Accumulate in row-major tile order — the per-tile path's
+        # float summation order, independent of bucket iteration.
+        for position, partial in enumerate(partials):
+            if partial is None:
+                raise RuntimeError(f"planned GeMM left tile {position} unexecuted")
+            row_start = (position // col_tiles) * tile_m
+            output[row_start : row_start + partial.shape[0]] += partial
 
     # ------------------------------------------------------------------
     def verify_trace(

@@ -162,6 +162,128 @@ class TestShardedConstruction:
         backend.close()
 
 
+class TestPoolLifecycle:
+    """Pools are spawned once, reused across calls, and never leaked."""
+
+    def test_context_manager_closes_pool(self, rng):
+        matrix = random_spike_matrix(64 * 20, 16, 0.2, rng)
+        with ShardedBackend(workers=2) as backend:
+            backend.matrix_records(matrix, 64, 16)
+            assert backend._pool is not None
+        assert backend._pool is None
+
+    def test_pool_spawned_once_across_many_calls(self, rng, pooled_backends):
+        backend = pooled_backends[4]
+        matrix = random_spike_matrix(64 * 20, 16, 0.2, rng)
+        for _ in range(3):
+            backend.matrix_records(matrix, 64, 16)
+        assert backend.pools_spawned == 1
+
+    def test_inline_path_never_spawns(self, rng):
+        with ShardedBackend(workers=2) as backend:
+            backend.matrix_records(random_spike_matrix(48, 16, 0.3, rng), 16, 16)
+            assert backend.pools_spawned == 0
+
+    def test_engine_close_and_context_manager(self, rng):
+        matrix = random_spike_matrix(64 * 20, 16, 0.2, rng)
+        with ProsperityEngine(backend="sharded", workers=2, tile_m=64) as engine:
+            engine.transform_matrix(matrix)
+            assert engine.backend._pool is not None
+        assert engine.backend._pool is None
+        engine.close()  # idempotent through the engine too
+
+    def test_non_pooled_backends_close_is_noop(self):
+        with ProsperityEngine(backend="vectorized") as engine:
+            pass
+        engine.close()
+        with get_backend("fused") as backend:
+            assert backend.name == "fused"
+
+    def test_simulator_close_spares_shared_engine(self, rng, pooled_backends):
+        """Simulator close() only closes engines it constructed."""
+        from repro.arch.simulator import ProsperitySimulator
+
+        backend = pooled_backends[4]
+        backend.matrix_records(random_spike_matrix(64 * 20, 16, 0.2, rng), 64, 16)
+        pool = backend._pool
+        engine = ProsperityEngine(backend=backend, tile_m=64, tile_k=16)
+        with ProsperitySimulator(engine=engine):
+            pass
+        assert backend._pool is pool  # shared engine: left open
+
+    def test_repeated_simulators_share_one_pool(self, rng, pooled_backends):
+        """Simulator construction over a shared engine respawns nothing."""
+        from repro.arch.simulator import ProsperitySimulator
+
+        backend = pooled_backends[2]
+        engine = ProsperityEngine(backend=backend, tile_m=64, tile_k=16)
+        spawned_before = backend.pools_spawned
+        matrix = random_spike_matrix(64 * 20, 16, 0.2, rng)
+        for _ in range(3):
+            simulator = ProsperitySimulator(engine=engine)
+            simulator.engine.transform_matrix(matrix)
+        assert backend.pools_spawned - spawned_before <= 1
+        pool = backend._pool
+        ProsperitySimulator(engine=engine).engine.transform_matrix(matrix)
+        assert backend._pool is pool
+
+    def test_sweep_closes_owned_backend(self, monkeypatch, rng):
+        """sweep_tile_sizes closes backends it built from a name."""
+        from repro.analysis import sweep as sweep_module
+        from repro.snn.trace import GeMMWorkload, ModelTrace
+
+        created = []
+        real_engine = sweep_module.ProsperityEngine
+
+        def capture(*args, **kwargs):
+            engine = real_engine(*args, **kwargs)
+            created.append(engine)
+            return engine
+
+        monkeypatch.setattr(sweep_module, "ProsperityEngine", capture)
+        trace = ModelTrace(
+            model="synthetic",
+            dataset="unit",
+            workloads=[
+                GeMMWorkload(
+                    name="w0",
+                    spikes=random_spike_matrix(64, 16, 0.3, rng),
+                    n=4,
+                )
+            ],
+        )
+        sweep_module.sweep_tile_sizes(
+            [trace], m_values=(32,), k_values=(8,), max_tiles=2,
+            rng=np.random.default_rng(0), backend="sharded", workers=2,
+        )
+        assert created, "sweep built no engine"
+        assert created[0].backend._pool is None  # closed on exit
+
+    def test_sweep_leaves_shared_instances_open(self, rng, pooled_backends):
+        from repro.analysis.sweep import sweep_tile_sizes
+        from repro.snn.trace import GeMMWorkload, ModelTrace
+
+        backend = pooled_backends[2]
+        backend.matrix_records(random_spike_matrix(64 * 20, 16, 0.2, rng), 64, 16)
+        pool = backend._pool
+        trace = ModelTrace(
+            model="synthetic",
+            dataset="unit",
+            workloads=[
+                GeMMWorkload(
+                    name="w0",
+                    spikes=random_spike_matrix(64, 16, 0.3, rng),
+                    n=4,
+                )
+            ],
+        )
+        sweep_tile_sizes(
+            [trace], m_values=(32,), k_values=(8,), max_tiles=2,
+            rng=np.random.default_rng(0), backend=backend,
+        )
+        assert backend._pool is pool  # caller-owned: untouched
+
+
 class TestCliSharded:
     def test_cli_run_sharded(self, capsys):
         from repro.cli import main

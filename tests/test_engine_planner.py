@@ -1,0 +1,360 @@
+"""Trace-level execution planner: cross-workload batching stays exact.
+
+The acceptance contract: tile records produced by the trace-level
+planner (``plan="trace"``) are bit-identical to the per-matrix fused
+output — and to the reference oracle — for every backend and worker
+count, on ragged shapes, awkward packed widths, and sampled subsets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.spike_matrix import SpikeMatrix, random_spike_matrix
+from repro.engine import (
+    PLAN_MODES,
+    BufferArena,
+    ProsperityEngine,
+    ShardedBackend,
+    TracePlanner,
+    validate_plan_mode,
+)
+from repro.engine.backends import ReferenceBackend
+from repro.engine.planner import PLANNED_PROFILE_STAGES
+from repro.snn.trace import GeMMWorkload
+
+TILE_M, TILE_K = 64, 16
+
+
+def _workloads(rng, specs):
+    """Synthetic trace: (rows, cols, density, correlation) per workload."""
+    return [
+        GeMMWorkload(
+            name=f"w{i}",
+            spikes=random_spike_matrix(rows, cols, density, rng, correlation),
+            n=8,
+        )
+        for i, (rows, cols, density, correlation) in enumerate(specs)
+    ]
+
+
+def _matrix_records(workloads, backend, tile_m=TILE_M, tile_k=TILE_K):
+    return [
+        backend.matrix_records(w.spikes, tile_m, tile_k) for w in workloads
+    ]
+
+
+@pytest.fixture(scope="module")
+def pooled_sharded():
+    backend = ShardedBackend(workers=2)
+    yield backend
+    backend.close()
+
+
+class TestBufferArena:
+    def test_take_shape_and_dtype(self):
+        arena = BufferArena()
+        view = arena.take(("a",), (3, 4), np.int64)
+        assert view.shape == (3, 4) and view.dtype == np.int64
+        assert arena.allocations == 1 and arena.reuses == 0
+
+    def test_reuse_without_allocation(self):
+        arena = BufferArena()
+        first = arena.take(("a",), (8, 2), np.uint8)
+        first[:] = 7
+        again = arena.take(("a",), (8, 2), np.uint8)
+        assert arena.allocations == 1 and arena.reuses == 1
+        assert again.base is first.base
+
+    def test_smaller_request_reuses_slab(self):
+        arena = BufferArena()
+        arena.take(("a",), (100,), np.int64)
+        arena.take(("a",), (10,), np.int64)
+        assert arena.allocations == 1 and arena.reuses == 1
+
+    def test_growth_doubles_capacity(self):
+        arena = BufferArena()
+        arena.take(("a",), (10,), np.int64)
+        arena.take(("a",), (11,), np.int64)
+        assert arena.allocations == 2
+        # Doubled: the next modest growth fits without a fresh slab.
+        arena.take(("a",), (20,), np.int64)
+        assert arena.allocations == 2 and arena.reuses == 1
+
+    def test_dtype_change_reallocates(self):
+        arena = BufferArena()
+        arena.take(("a",), (4,), np.int64)
+        arena.take(("a",), (4,), np.uint8)
+        assert arena.allocations == 2
+
+    def test_clear_drops_slabs(self):
+        arena = BufferArena()
+        arena.take(("a",), (4,), np.int64)
+        assert len(arena) == 1 and arena.nbytes == 32
+        arena.clear()
+        assert len(arena) == 0 and arena.nbytes == 0
+
+
+class TestPlanModeValidation:
+    def test_modes(self):
+        assert PLAN_MODES == ("matrix", "trace")
+        for mode in PLAN_MODES:
+            assert validate_plan_mode(mode) == mode
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="plan mode"):
+            validate_plan_mode("async")
+        with pytest.raises(ValueError, match="plan mode"):
+            ProsperityEngine(plan="bogus")
+        engine = ProsperityEngine(backend="fused")
+        with pytest.raises(ValueError, match="plan mode"):
+            engine.run([], plan="bogus")
+
+
+class TestPlannedRecordEquivalence:
+    """The acceptance property: planner output == per-matrix fused == oracle."""
+
+    #: Ragged rows/cols, packed widths of 2/3/5/7 bytes, mixed densities.
+    SPECS = (
+        (130, 17, 0.3, 0.4),
+        (64, 17, 0.05, 0.0),
+        (200, 33, 0.5, 0.6),
+        (96, 56, 0.25, 0.3),
+        (40, 16, 0.7, 0.2),
+    )
+
+    def _trace(self, rng):
+        return _workloads(rng, self.SPECS)
+
+    @pytest.mark.parametrize("backend", ["reference", "vectorized", "fused"])
+    def test_planner_matches_oracle_all_backends(self, rng, backend):
+        workloads = self._trace(rng)
+        expected = _matrix_records(workloads, ReferenceBackend())
+        report = ProsperityEngine(
+            backend=backend, tile_m=TILE_M, tile_k=TILE_K, plan="trace"
+        ).run(workloads)
+        assert report.plan == "trace"
+        assert len(report.runs) == len(expected)
+        for run, records in zip(report.runs, expected):
+            assert np.array_equal(run.records, records), (backend, run.name)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_planner_matches_fused_sharded(self, rng, workers, pooled_sharded):
+        workloads = self._trace(rng)
+        from repro.engine import FusedBackend
+
+        expected = _matrix_records(workloads, FusedBackend())
+        backend = pooled_sharded if workers == 2 else ShardedBackend(workers=1)
+        try:
+            report = ProsperityEngine(
+                backend=backend, tile_m=TILE_M, tile_k=TILE_K, plan="trace"
+            ).run(workloads)
+            for run, records in zip(report.runs, expected):
+                assert np.array_equal(run.records, records), (workers, run.name)
+        finally:
+            if backend is not pooled_sharded:
+                backend.close()
+
+    def test_plan_modes_identical_on_real_trace(self, vgg_trace):
+        matrix_report = ProsperityEngine(
+            backend="fused", tile_m=256, tile_k=16
+        ).run(vgg_trace, batch=8)
+        trace_report = ProsperityEngine(
+            backend="fused", tile_m=256, tile_k=16, plan="trace"
+        ).run(vgg_trace)
+        for mine, theirs in zip(trace_report.runs, matrix_report.runs):
+            assert np.array_equal(mine.records, theirs.records), mine.name
+
+    def test_run_plan_override(self, rng):
+        """`run(plan=...)` overrides the engine default per call."""
+        workloads = self._trace(rng)
+        engine = ProsperityEngine(backend="fused", tile_m=TILE_M, tile_k=TILE_K)
+        default = engine.run(workloads)
+        overridden = engine.run(workloads, plan="trace")
+        assert default.plan == "matrix" and overridden.plan == "trace"
+        for mine, theirs in zip(overridden.runs, default.runs):
+            assert np.array_equal(mine.records, theirs.records)
+
+
+class TestDedupStats:
+    def test_repeated_workloads_dedup(self, rng):
+        """A trace repeated over timesteps dedups across workloads."""
+        base = _workloads(rng, [(128, 32, 0.3, 0.5)])
+        repeated = base * 4  # four identical "timesteps"
+        report = ProsperityEngine(
+            backend="fused", tile_m=TILE_M, tile_k=TILE_K, plan="trace"
+        ).run(repeated)
+        assert report.planned_tiles == 4 * base[0].spikes.num_tiles(TILE_M, TILE_K)
+        assert report.unique_tiles <= report.planned_tiles // 4
+        assert report.dedup_ratio >= 4.0
+        # All four copies carry identical records.
+        for run in report.runs[1:]:
+            assert np.array_equal(run.records, report.runs[0].records)
+
+    def test_matrix_mode_reports_no_dedup(self, rng):
+        report = ProsperityEngine(
+            backend="fused", tile_m=TILE_M, tile_k=TILE_K
+        ).run(_workloads(rng, [(64, 16, 0.3, 0.0)]))
+        assert report.planned_tiles == 0
+        assert report.unique_tiles == 0
+        assert report.dedup_ratio == 0.0
+
+    def test_planned_profile_stages(self, rng):
+        report = ProsperityEngine(
+            backend="fused", tile_m=TILE_M, tile_k=TILE_K, plan="trace"
+        ).run(_workloads(rng, [(128, 32, 0.3, 0.5), (64, 16, 0.2, 0.0)]))
+        assert set(report.profile) == set(PLANNED_PROFILE_STAGES)
+        assert all(seconds >= 0.0 for seconds in report.profile.values())
+
+
+class TestArenaReuse:
+    def test_second_run_allocates_nothing(self, rng):
+        workloads = _workloads(rng, [(130, 17, 0.3, 0.4), (64, 33, 0.2, 0.0)])
+        engine = ProsperityEngine(
+            backend="fused", tile_m=TILE_M, tile_k=TILE_K, plan="trace"
+        )
+        engine.run(workloads)
+        arena = engine.planner.arena
+        allocations = arena.allocations
+        reuses = arena.reuses
+        second = engine.run(workloads)
+        assert arena.allocations == allocations  # no churn on re-plan
+        assert arena.reuses > reuses
+        expected = _matrix_records(workloads, ReferenceBackend())
+        for run, records in zip(second.runs, expected):
+            assert np.array_equal(run.records, records)
+
+    def test_returned_records_survive_replanning(self, rng):
+        """Records are freshly allocated, never views of arena slabs."""
+        first_trace = _workloads(rng, [(128, 16, 0.3, 0.4)])
+        second_trace = _workloads(rng, [(128, 16, 0.6, 0.1)])
+        engine = ProsperityEngine(
+            backend="fused", tile_m=TILE_M, tile_k=TILE_K, plan="trace"
+        )
+        first = engine.run(first_trace)
+        kept = first.runs[0].records.copy()
+        engine.run(second_trace)  # overwrites arena slabs
+        assert np.array_equal(first.runs[0].records, kept)
+
+
+class TestTransformTrace:
+    def test_matches_per_matrix_loop(self, rng):
+        workloads = _workloads(rng, [(130, 17, 0.3, 0.4), (64, 16, 0.2, 0.0)])
+        engine = ProsperityEngine(
+            backend="fused", tile_m=TILE_M, tile_k=TILE_K, plan="trace"
+        )
+        loop = [
+            ProsperityEngine(backend="fused", tile_m=TILE_M, tile_k=TILE_K)
+            .transform_matrix(w.spikes)
+            for w in workloads
+        ]
+        planned = engine.transform_trace(workloads)
+        for mine, theirs in zip(planned, loop):
+            assert np.array_equal(mine.tile_records, theirs.tile_records)
+
+    def test_accepts_bare_matrices(self, rng):
+        matrices = [
+            random_spike_matrix(96, 32, 0.3, rng),
+            SpikeMatrix(rng.random((64, 16)) < 0.2).bits,  # raw ndarray
+        ]
+        engine = ProsperityEngine(
+            backend="fused", tile_m=TILE_M, tile_k=TILE_K, plan="trace"
+        )
+        results = engine.transform_trace(matrices)
+        assert len(results) == 2
+        oracle = ReferenceBackend()
+        for matrix, result in zip(matrices, results):
+            matrix = matrix if isinstance(matrix, SpikeMatrix) else SpikeMatrix(matrix)
+            assert np.array_equal(
+                result.tile_records,
+                oracle.matrix_records(matrix, TILE_M, TILE_K),
+            )
+
+    def test_empty_trace(self):
+        engine = ProsperityEngine(backend="fused", plan="trace")
+        assert engine.transform_trace([]) == []
+        report = engine.run([])
+        assert report.runs == [] and report.planned_tiles == 0
+
+
+class TestPlannedGemm:
+    def test_integer_weights_exact(self, rng):
+        matrix = random_spike_matrix(130, 33, 0.3, rng, 0.4)
+        weights = rng.integers(-5, 6, size=(33, 9))
+        per_tile = ProsperityEngine(
+            backend="vectorized", tile_m=TILE_M, tile_k=TILE_K
+        ).execute_gemm(matrix, weights)
+        planned = ProsperityEngine(
+            backend="vectorized", tile_m=TILE_M, tile_k=TILE_K, plan="trace"
+        ).execute_gemm(matrix, weights)
+        assert np.array_equal(per_tile, planned)
+        dense = matrix.bits.astype(np.int64) @ weights.astype(np.int64)
+        assert np.array_equal(planned, dense)
+
+    def test_float_weights_same_summation_order(self, rng):
+        matrix = random_spike_matrix(96, 40, 0.25, rng, 0.3)
+        weights = rng.standard_normal((40, 5))
+        per_tile = ProsperityEngine(
+            backend="vectorized", tile_m=32, tile_k=16
+        ).execute_gemm(matrix, weights)
+        planned = ProsperityEngine(
+            backend="vectorized", tile_m=32, tile_k=16, plan="trace"
+        ).execute_gemm(matrix, weights)
+        # Accumulation runs in row-major tile order in both paths, so
+        # even float outputs are bit-equal, not merely close.
+        assert np.array_equal(per_tile, planned)
+
+
+class TestPlannerDirect:
+    def test_bucket_scatter_covers_every_tile(self, rng):
+        planner = TracePlanner()
+        matrices = [
+            random_spike_matrix(130, 17, 0.3, rng),
+            random_spike_matrix(64, 33, 0.2, rng),
+        ]
+        plan = planner.plan(matrices, TILE_M, TILE_K)
+        assert plan.total_tiles == sum(
+            m.num_tiles(TILE_M, TILE_K) for m in matrices
+        )
+        assert plan.unique_tiles <= plan.total_tiles
+        covered = set()
+        for bucket in plan.buckets:
+            for owner, position in zip(bucket.owner, bucket.position):
+                covered.add((int(owner), int(position)))
+        assert len(covered) == plan.total_tiles
+
+    def test_shared_shapes_merge_into_one_bucket(self, rng):
+        planner = TracePlanner()
+        matrices = [
+            random_spike_matrix(TILE_M * 2, TILE_K, 0.3, rng),
+            random_spike_matrix(TILE_M * 3, TILE_K, 0.2, rng),
+        ]
+        plan = planner.plan(matrices, TILE_M, TILE_K)
+        assert len(plan.buckets) == 1  # one (m, k) shape across workloads
+        assert plan.buckets[0].tiles == 5
+
+
+class TestCliPlan:
+    def test_cli_run_trace_plan(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            [
+                "run", "--model", "lenet5", "--dataset", "mnist",
+                "--backend", "fused", "--plan", "trace",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "plan: trace" in out
+        assert "cross-workload dedup" in out
+        assert "profile:" in out
+
+    def test_cli_rejects_unknown_plan(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(
+                ["run", "--model", "lenet5", "--dataset", "mnist",
+                 "--plan", "bogus"]
+            )
