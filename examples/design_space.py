@@ -1,34 +1,34 @@
 """Design-space exploration: choosing the spike tile size (paper Fig. 7).
 
 Sweeps the ProSparsity scope (tile m) and row width (tile k) on a real
-CNN trace, printing the latency/density/hardware-cost trade-off that
-leads to the paper's m=256, k=16 choice.
+CNN trace through the canonical :mod:`repro.api` entry point — the sweep
+grid lives in the typed :class:`~repro.api.RunConfig`, so the same
+experiment is reproducible from a TOML file (`repro sweep --config ...`).
+Prints the latency/density/hardware-cost trade-off that leads to the
+paper's m=256, k=16 choice.
 
 Run:  python examples/design_space.py
 """
 
-import numpy as np
-
-from repro.analysis.sweep import sweep_tile_sizes
-from repro.snn.models import build_model
+from repro.api import RunConfig, Session
 
 
 def main() -> None:
-    rng = np.random.default_rng(7)
-    model = build_model("vgg16", "cifar100", rng=rng, scale=0.5)
-    trace = model.trace(rng)
-
-    m_sweep, k_sweep = sweep_tile_sizes(
-        [trace],
-        m_values=(32, 64, 128, 256, 512),
-        k_values=(4, 8, 16, 32, 64),
-        max_tiles=12,
-        rng=rng,
-    )
+    config = RunConfig().with_overrides({
+        "workload.model": "vgg16",
+        "workload.dataset": "cifar100",
+        "workload.seed": 7,
+        "engine.backend": "fused",
+        "sampling.max_tiles": 12,
+        "sweep.m_values": (32, 64, 128, 256, 512),
+        "sweep.k_values": (4, 8, 16, 32, 64),
+    })
+    with Session(config) as session:
+        result = session.sweep()
 
     print("sweep tile m (k = 16):")
     print(f"  {'m':>5s} {'pro density':>12s} {'latency vs bit':>15s} {'area mm2':>9s}")
-    for point in m_sweep:
+    for point in result.m_sweep:
         print(
             f"  {point.tile_m:5d} {point.product_density:12.2%} "
             f"{point.latency_vs_bit:15.3f} {point.area_mm2:9.3f}"
@@ -36,13 +36,13 @@ def main() -> None:
 
     print("\nsweep tile k (m = 256):")
     print(f"  {'k':>5s} {'pro density':>12s} {'latency vs bit':>15s}")
-    for point in k_sweep:
+    for point in result.k_sweep:
         print(
             f"  {point.tile_k:5d} {point.product_density:12.2%} "
             f"{point.latency_vs_bit:15.3f}"
         )
 
-    chosen = next(p for p in m_sweep if p.tile_m == 256)
+    chosen = next(p for p in result.m_sweep if p.tile_m == 256)
     print(
         f"\nchosen configuration m=256, k=16: product density "
         f"{chosen.product_density:.2%}, {1 / chosen.latency_vs_bit:.2f}x over "

@@ -5,11 +5,17 @@ is orthogonal and shrinks the *activation* side on top. This example
 prunes a spiking AlexNet's weights, measures both sparsity sides, and
 shows the combined accumulate reduction.
 
+The workload comes from a typed :class:`~repro.api.RunConfig` /
+:class:`~repro.api.Session` (the canonical :mod:`repro.api` entry
+point); the LoAS-specific dual-sparsity math stays in
+:mod:`repro.baselines`, which this example drives directly.
+
 Run:  python examples/dual_sparsity.py
 """
 
 import numpy as np
 
+from repro.api import RunConfig, Session
 from repro.baselines import (
     LOAS_WEIGHT_DENSITY,
     LoASModel,
@@ -17,13 +23,17 @@ from repro.baselines import (
     dual_sparse_ops,
     pruned_weight_mask,
 )
-from repro.snn.models import build_model
 
 
 def main() -> None:
-    rng = np.random.default_rng(7)
-    model = build_model("alexnet", "cifar10", rng=rng, scale=0.5)
-    trace = model.trace(rng)
+    config = RunConfig().with_overrides({
+        "workload.model": "alexnet",
+        "workload.dataset": "cifar10",
+        "sampling.max_tiles": 24,
+    })
+    rng = np.random.default_rng(config.workload.seed)
+    with Session(config) as session:
+        trace = session.trace()
 
     weight_density = LOAS_WEIGHT_DENSITY["alexnet"]
     print(f"LoAS weight pruning target: {weight_density:.1%} density")
@@ -31,7 +41,7 @@ def main() -> None:
     print(f"generated 512x512 mask at {mask.mean():.2%} density\n")
 
     bit, pro = activation_density_with_prosparsity(
-        trace, max_tiles=24, rng=rng
+        trace, max_tiles=config.sampling.max_tiles, rng=rng
     )
     print(f"activation density (LoAS, bit sparsity) : {bit:8.2%}")
     print(f"activation density (+ ProSparsity)      : {pro:8.2%}")

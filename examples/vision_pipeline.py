@@ -1,61 +1,59 @@
 """Spiking-CNN pipeline: trace a VGG-style SNN and race the accelerators.
 
 This is the workload class the paper's Tables I/IV target: a spiking CNN
-on image data. The example traces a (reduced-width) spiking VGG-16,
-reports per-layer sparsity, then simulates Prosperity against Eyeriss,
-PTB and Stellar.
+on image data. Everything runs through the canonical :mod:`repro.api`
+entry point: one :class:`~repro.api.RunConfig` names the workload and
+baseline lineup, one :class:`~repro.api.Session` shares the transform
+engine across the per-layer sparsity report, the density study, and the
+accelerator race.
 
 Run:  python examples/vision_pipeline.py
 """
 
 import numpy as np
 
-from repro.analysis.density import density_report
-from repro.arch import ProsperitySimulator
-from repro.baselines import EyerissModel, PTBModel, StellarModel
-from repro.core import transform_matrix
-from repro.snn.models import build_model
+from repro.api import RunConfig, Session
 
 
 def main() -> None:
-    rng = np.random.default_rng(7)
+    config = RunConfig().with_overrides({
+        "workload.model": "vgg16",
+        "workload.dataset": "cifar100",
+        "engine.backend": "fused",
+        "sampling.max_tiles": 32,
+        "simulator.baselines": ("eyeriss", "ptb", "stellar"),
+    })
 
-    # Build and trace a spiking VGG-16 at half width (fast on a laptop;
-    # drop scale=... for the full paper configuration).
-    model = build_model("vgg16", "cifar100", rng=rng, scale=0.5)
-    trace = model.trace(rng)
-    print(f"traced {len(trace)} spiking GeMMs, "
-          f"{trace.total_dense_macs / 1e9:.2f} GMAC dense equivalent\n")
+    with Session(config) as session:
+        trace = session.trace()
+        print(f"traced {len(trace)} spiking GeMMs, "
+              f"{trace.total_dense_macs / 1e9:.2f} GMAC dense equivalent\n")
 
-    print("per-layer sparsity (first 6 layers):")
-    for workload in trace.workloads[:6]:
-        stats = transform_matrix(
-            workload.spikes, keep_transforms=False, max_tiles=32, rng=rng
-        ).stats
-        print(
-            f"  {workload.name:8s} M={workload.m:5d} K={workload.k:5d} "
-            f"bit={stats.bit_density:6.2%} product={stats.product_density:6.2%} "
-            f"({stats.ops_reduction:4.1f}x fewer adds)"
-        )
+        print("per-layer sparsity (first 6 layers):")
+        rng = np.random.default_rng(config.workload.seed)
+        for workload in trace.workloads[:6]:
+            stats = session.engine.transform_matrix(
+                workload.spikes, max_tiles=32, rng=rng
+            ).stats
+            print(
+                f"  {workload.name:8s} M={workload.m:5d} K={workload.k:5d} "
+                f"bit={stats.bit_density:6.2%} product={stats.product_density:6.2%} "
+                f"({stats.ops_reduction:4.1f}x fewer adds)"
+            )
 
-    report = density_report(trace, max_tiles=32, rng=rng)
-    print(f"\nmodel totals: bit {report.bit_density:.2%} | "
-          f"FS {report.fs_density:.2%} | product {report.product_density:.2%}")
+        density = session.density().report
+        print(f"\nmodel totals: bit {density.bit_density:.2%} | "
+              f"FS {density.fs_density:.2%} | product {density.product_density:.2%}")
 
-    print("\naccelerator race (same trace):")
-    eyeriss = EyerissModel().simulate(trace)
-    for name, accel_report in (
-        ("eyeriss", eyeriss),
-        ("ptb", PTBModel().simulate(trace)),
-        ("stellar", StellarModel().simulate(trace)),
-        ("prosperity", ProsperitySimulator(
-            max_tiles_per_workload=32, rng=rng).simulate(trace)),
-    ):
-        print(
-            f"  {name:12s} {accel_report.seconds * 1e6:10.1f} us  "
-            f"{eyeriss.seconds / accel_report.seconds:6.2f}x speedup  "
-            f"{accel_report.energy_j * 1e3:8.3f} mJ"
-        )
+        print("\naccelerator race (same trace):")
+        reports = session.simulate().reports
+        eyeriss = reports["eyeriss"]
+        for name, accel_report in reports.items():
+            print(
+                f"  {name:12s} {accel_report.seconds * 1e6:10.1f} us  "
+                f"{eyeriss.seconds / accel_report.seconds:6.2f}x speedup  "
+                f"{accel_report.energy_j * 1e3:8.3f} mJ"
+            )
 
 
 if __name__ == "__main__":

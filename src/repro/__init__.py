@@ -3,6 +3,10 @@ Networks via Product Sparsity" (Wei et al., HPCA 2025).
 
 Layered public API:
 
+* :mod:`repro.api` — **the canonical entry point**: the typed
+  :class:`~repro.api.RunConfig` (TOML/JSON round-trip, ``with_overrides``
+  sweeps) and the :class:`~repro.api.Session` facade over engine,
+  simulator, and analysis with shared backend/pool lifecycle.
 * :mod:`repro.core` — Product Sparsity: relations, forest, dispatch, and
   the lossless ProSparsity spiking GeMM.
 * :mod:`repro.snn` — NumPy SNN substrate (LIF/FS neurons, conv/linear/
@@ -26,9 +30,14 @@ from repro.engine import ProsperityEngine, available_backends
 from repro.snn import GeMMWorkload, ModelTrace
 from repro.workloads import FIG8_GRID, FIG11_GRID, get_trace
 
-__version__ = "1.0.0"
+# Imported last: repro.api sits above every other layer.
+from repro.api import RunConfig, Session  # noqa: E402
+
+__version__ = "1.1.0"
 
 __all__ = [
+    "RunConfig",
+    "Session",
     "ProsperityConfig",
     "ProsperityEngine",
     "ProsperitySimulator",

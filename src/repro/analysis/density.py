@@ -84,7 +84,11 @@ def density_report(
     rng: np.random.Generator | None = None,
     engine=None,
 ) -> DensityReport:
-    """All four density metrics for one trace (one Fig. 11 bar group)."""
+    """All four density metrics for one trace (one Fig. 11 bar group).
+
+    .. note:: :meth:`repro.api.Session.density` is the canonical entry
+       point; it calls this with the session's shared engine attached.
+    """
     stats = trace_prosparsity_stats(trace, tile_m, tile_k, max_tiles, rng, engine)
     elements = sum(w.spikes.bits.size for w in trace.workloads)
     structured = (

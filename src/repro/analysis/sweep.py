@@ -32,7 +32,7 @@ class SweepPoint:
 def _latency_ratio(
     traces: list[ModelTrace],
     config: ProsperityConfig,
-    max_tiles: int,
+    max_tiles: int | None,
     rng: np.random.Generator,
     backend="reference",
     plan: str = "matrix",
@@ -67,13 +67,18 @@ def sweep_tile_sizes(
     m_values: tuple[int, ...] = (32, 64, 128, 256, 512, 1024, 2048),
     k_values: tuple[int, ...] = (4, 8, 16, 32, 64, 128),
     base_config: ProsperityConfig | None = None,
-    max_tiles: int = 24,
+    max_tiles: int | None = 24,
     rng: np.random.Generator | None = None,
     backend: str = "reference",
     workers: int | None = None,
     plan: str = "matrix",
 ) -> tuple[list[SweepPoint], list[SweepPoint]]:
     """Fig. 7's two sweeps: vary m at fixed k, and k at fixed m.
+
+    .. note:: Calling this directly remains supported, but
+       :meth:`repro.api.Session.sweep` is the canonical entry point: it
+       feeds this function from a typed :class:`~repro.api.RunConfig`
+       and shares the session's backend (and sharded pool).
 
     Returns ``(m_sweep, k_sweep)``. Density always falls with larger m
     (larger prefix search scope) while a middle k is optimal; area/power

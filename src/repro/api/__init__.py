@@ -1,0 +1,55 @@
+"""repro.api — the unified, typed entry point to the reproduction.
+
+This package is the canonical way to drive the system:
+
+* :class:`RunConfig` — a frozen, validated, serializable description of
+  a run (workload / engine / simulator / sampling / sweep / tradeoff
+  sections; TOML + JSON round-trip; ``with_overrides`` for sweeps).
+* :class:`Session` — one facade owning backend/engine lifecycle, with
+  ``run()`` / ``simulate()`` / ``sweep()`` / ``density()`` /
+  ``scaling()`` / ``tradeoff()`` returning structured results, and a
+  ``submit()`` queue seam for concurrent callers.
+
+The lower-level entry points (``ProsperityEngine``,
+``ProsperitySimulator``, ``sweep_tile_sizes``) remain supported, but new
+code — and the ``repro`` CLI — should go through ``Session`` so
+configuration stays in one typed object and pooled resources are shared.
+"""
+
+from repro.api.config import (
+    EngineConfig,
+    RunConfig,
+    SamplingConfig,
+    SimulatorConfig,
+    SweepConfig,
+    TradeoffConfig,
+    WorkloadConfig,
+)
+from repro.api.session import (
+    DensityResult,
+    EngineRunResult,
+    RunResult,
+    ScalingResult,
+    Session,
+    SimulationResult,
+    SweepResult,
+    TradeoffRunResult,
+)
+
+__all__ = [
+    "DensityResult",
+    "EngineConfig",
+    "EngineRunResult",
+    "RunConfig",
+    "RunResult",
+    "SamplingConfig",
+    "ScalingResult",
+    "Session",
+    "SimulationResult",
+    "SimulatorConfig",
+    "SweepConfig",
+    "SweepResult",
+    "TradeoffConfig",
+    "TradeoffRunResult",
+    "WorkloadConfig",
+]

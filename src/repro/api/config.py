@@ -1,0 +1,433 @@
+"""Typed, serializable run configuration for the unified Session API.
+
+:class:`RunConfig` is the one object that describes a complete
+reproduction run: which workload to trace (``workload``), how the
+ProSparsity engine executes it (``engine``), how the accelerator
+simulator is configured (``simulator``), how tiles are sampled
+(``sampling``), plus the design-sweep grid (``sweep``) and the
+Sec. VII-G trade-off input (``tradeoff``). Every section is a frozen
+dataclass, validated eagerly on construction with the same error wording
+the execution layers raise (e.g. ``workers`` on a backend that cannot
+take it reuses :func:`repro.engine.backends.backend_option_error`).
+
+Configs round-trip through TOML and JSON (``from_file``/``to_file``,
+``from_dict``/``to_dict``) and support two immutable update idioms:
+
+* :meth:`RunConfig.with_overrides` — dotted-key overrides with native
+  values, the sweep-loop workhorse::
+
+      for backend in ("vectorized", "fused"):
+          cfg = base.with_overrides({"engine.backend": backend})
+
+* :meth:`RunConfig.with_sets` — ``"section.key=value"`` strings as the
+  CLI's ``--set`` flag passes them, with type coercion driven by the
+  target field's annotation.
+"""
+
+from __future__ import annotations
+
+import json
+import types
+import typing
+
+try:  # stdlib on 3.11+; the tomli backport covers 3.10
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - version-dependent
+    try:
+        import tomli as tomllib  # type: ignore[no-redef]
+    except ModuleNotFoundError:
+        tomllib = None  # TOML *writing* still works (hand-rolled emitter)
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+
+from repro.arch.ppu import MODES, MODE_PROSPERITY
+from repro.baselines import BASELINES
+from repro.core.prosparsity import (
+    DEFAULT_TILE_K,
+    DEFAULT_TILE_M,
+    validate_tile_shape,
+)
+from repro.engine.backends import (
+    available_backends,
+    backend_accepts_option,
+    backend_option_error,
+    unknown_backend_error,
+    validate_workers,
+)
+from repro.engine.planner import validate_plan_mode
+from repro.workloads import PRESETS
+
+__all__ = [
+    "EngineConfig",
+    "RunConfig",
+    "SamplingConfig",
+    "SimulatorConfig",
+    "SweepConfig",
+    "TradeoffConfig",
+    "WorkloadConfig",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Which model/dataset trace a session runs on."""
+
+    model: str = "vgg16"
+    dataset: str = "cifar10"
+    preset: str = "small"
+    seed: int = 7
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """How the ProSparsity engine executes: backend, plan, batching."""
+
+    backend: str = "vectorized"
+    workers: int | None = None
+    plan: str = "matrix"
+    batch: int = 8
+    cache_size: int = 4096
+    tile_m: int = DEFAULT_TILE_M
+    tile_k: int = DEFAULT_TILE_K
+    verify: bool = False
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Accelerator-simulation settings (mode ladder + baseline lineup)."""
+
+    mode: str = MODE_PROSPERITY
+    baselines: tuple[str, ...] = ("eyeriss", "ptb", "sato", "mint", "stellar", "a100")
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Tile sampling: ``max_tiles`` per workload, ``0`` = exact."""
+
+    max_tiles: int = 24
+
+    @property
+    def effective(self) -> int | None:
+        """The ``max_tiles`` value execution layers expect (``None`` = exact)."""
+        return None if self.max_tiles == 0 else self.max_tiles
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Tiling design-sweep grid (Fig. 7): m at fixed k, k at fixed m."""
+
+    m_values: tuple[int, ...] = (64, 128, 256, 512)
+    k_values: tuple[int, ...] = (8, 16, 32)
+
+
+@dataclass(frozen=True)
+class TradeoffConfig:
+    """Sec. VII-G trade-off input: the measured sparsity increase dS."""
+
+    sparsity_increase: float = 0.1335
+
+
+_SECTIONS: dict[str, type] = {
+    "workload": WorkloadConfig,
+    "engine": EngineConfig,
+    "simulator": SimulatorConfig,
+    "sampling": SamplingConfig,
+    "sweep": SweepConfig,
+    "tradeoff": TradeoffConfig,
+}
+
+
+def _coerce(text: str, hint) -> object:
+    """Coerce a ``--set`` value string to the target field's annotation."""
+    origin = typing.get_origin(hint)
+    if origin in (typing.Union, types.UnionType):  # e.g. int | None
+        args = [a for a in typing.get_args(hint) if a is not type(None)]
+        if text.lower() in ("none", "null"):
+            return None
+        return _coerce(text, args[0])
+    if origin is tuple:
+        items = [part for part in text.replace("[", "").replace("]", "").split(",")
+                 if part.strip()]
+        element = (typing.get_args(hint) or (str,))[0]
+        return tuple(_coerce(item.strip(), element) for item in items)
+    if hint is bool:
+        lowered = text.lower()
+        if lowered in ("true", "1", "yes", "on"):
+            return True
+        if lowered in ("false", "0", "no", "off"):
+            return False
+        raise ValueError(f"cannot parse {text!r} as a boolean")
+    if hint is int:
+        return int(text)
+    if hint is float:
+        return float(text)
+    return text
+
+
+def _section_from_dict(name: str, cls: type, data: dict):
+    known = {f.name: f for f in fields(cls)}
+    unknown = sorted(set(data) - set(known))
+    if unknown:
+        raise ValueError(
+            f"unknown key(s) {unknown} in config section [{name}]; "
+            f"known: {sorted(known)}"
+        )
+    values = {}
+    hints = typing.get_type_hints(cls)
+    for key, value in data.items():
+        if typing.get_origin(hints[key]) is tuple and isinstance(value, list):
+            value = tuple(value)
+        values[key] = value
+    return cls(**values)
+
+
+def _toml_value(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        # TOML basic strings accept JSON's escape repertoire.
+        return json.dumps(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_value(item) for item in value) + "]"
+    raise TypeError(f"cannot serialize {value!r} to TOML")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """The complete, validated configuration of one reproduction run.
+
+    Frozen: every update goes through :meth:`with_overrides` /
+    :meth:`with_sets`, which return new instances. Validation runs on
+    construction, so an invalid combination (unknown backend, ``workers``
+    on a backend that cannot take it, bad plan mode, malformed tile
+    shape) fails at config time with the exact error the execution layer
+    would raise — never halfway into a run.
+    """
+
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    simulator: SimulatorConfig = field(default_factory=SimulatorConfig)
+    sampling: SamplingConfig = field(default_factory=SamplingConfig)
+    sweep: SweepConfig = field(default_factory=SweepConfig)
+    tradeoff: TradeoffConfig = field(default_factory=TradeoffConfig)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- validation -----------------------------------------------------
+    def validate(self) -> None:
+        """Check cross-field consistency; raise ``ValueError`` on bad combos."""
+        workload, engine = self.workload, self.engine
+        if workload.preset not in PRESETS:
+            raise ValueError(
+                f"unknown preset {workload.preset!r}; known: {sorted(PRESETS)}"
+            )
+        if engine.backend not in available_backends():
+            raise unknown_backend_error(engine.backend)
+        if engine.workers is not None:
+            validate_workers(engine.workers)
+            if not backend_accepts_option(engine.backend, "workers"):
+                raise backend_option_error(engine.backend, {"workers"})
+        validate_plan_mode(engine.plan)
+        if engine.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {engine.batch}")
+        if engine.cache_size < 0:
+            raise ValueError(
+                f"cache_size must be >= 0, got {engine.cache_size}"
+            )
+        validate_tile_shape(engine.tile_m, engine.tile_k)
+        if self.simulator.mode not in MODES:
+            raise ValueError(
+                f"unknown mode {self.simulator.mode!r}; expected one of {MODES}"
+            )
+        if not self.simulator.baselines:
+            raise ValueError(
+                "simulator.baselines must name at least one accelerator "
+                "(the first is the speedup base)"
+            )
+        unknown = sorted(set(self.simulator.baselines) - set(BASELINES))
+        if unknown:
+            raise ValueError(
+                f"unknown baseline(s) {unknown}; available: {sorted(BASELINES)}"
+            )
+        if self.sampling.max_tiles < 0:
+            raise ValueError(
+                f"max_tiles must be >= 0 (0 = exact), got {self.sampling.max_tiles}"
+            )
+        for axis, values in (("m_values", self.sweep.m_values),
+                             ("k_values", self.sweep.k_values)):
+            if not values or any(v < 1 for v in values):
+                raise ValueError(
+                    f"sweep {axis} must be non-empty positive ints, got {values}"
+                )
+        if self.tradeoff.sparsity_increase < 0:
+            raise ValueError(
+                "sparsity_increase must be >= 0, got "
+                f"{self.tradeoff.sparsity_increase}"
+            )
+
+    # -- dict / file round-trip ----------------------------------------
+    def to_dict(self) -> dict:
+        """Nested plain-type dict (tuples become lists, ``None`` dropped).
+
+        Dropping ``None`` keeps the dict TOML-representable; absent keys
+        read back as their defaults, which is exactly ``None``'s meaning
+        here — the round-trip is lossless.
+        """
+        out: dict[str, dict] = {}
+        for name in _SECTIONS:
+            section = getattr(self, name)
+            entries = {}
+            for f in fields(section):
+                value = getattr(section, f.name)
+                if value is None:
+                    continue
+                if isinstance(value, tuple):
+                    value = list(value)
+                entries[f.name] = value
+            out[name] = entries
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunConfig":
+        unknown = sorted(set(data) - set(_SECTIONS))
+        if unknown:
+            raise ValueError(
+                f"unknown config section(s) {unknown}; known: {sorted(_SECTIONS)}"
+            )
+        sections = {
+            name: _section_from_dict(name, section_cls, data.get(name, {}))
+            for name, section_cls in _SECTIONS.items()
+        }
+        return cls(**sections)
+
+    def to_toml(self) -> str:
+        lines: list[str] = []
+        for name, entries in self.to_dict().items():
+            lines.append(f"[{name}]")
+            for key, value in entries.items():
+                lines.append(f"{key} = {_toml_value(value)}")
+            lines.append("")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2) + "\n"
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "RunConfig":
+        """Load a config from a ``.toml`` or ``.json`` file."""
+        path = Path(path)
+        if path.suffix == ".toml":
+            if tomllib is None:  # pragma: no cover - version-dependent
+                raise RuntimeError(
+                    "reading TOML configs needs Python >= 3.11 (tomllib) or "
+                    "the 'tomli' backport; use a .json config instead"
+                )
+            with open(path, "rb") as handle:
+                data = tomllib.load(handle)
+        elif path.suffix == ".json":
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        else:
+            raise ValueError(
+                f"config file must end in .toml or .json, got {path.name!r}"
+            )
+        return cls.from_dict(data)
+
+    def to_file(self, path: str | Path) -> Path:
+        """Write this config as TOML or JSON, chosen by the file suffix."""
+        path = Path(path)
+        if path.suffix == ".toml":
+            text = self.to_toml()
+        elif path.suffix == ".json":
+            text = self.to_json()
+        else:
+            raise ValueError(
+                f"config file must end in .toml or .json, got {path.name!r}"
+            )
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    # -- immutable updates ---------------------------------------------
+    def with_overrides(self, overrides: dict | None = None, **sections) -> "RunConfig":
+        """New config with dotted-key and/or whole-section overrides.
+
+        ``overrides`` maps ``"section.key"`` to a native value::
+
+            cfg.with_overrides({"engine.backend": "sharded",
+                                "engine.workers": 4})
+
+        Section keyword arguments replace fields of one section at once::
+
+            cfg.with_overrides(workload={"model": "lenet5"})
+
+        The receiver is untouched; the returned config is re-validated.
+        """
+        updates: dict[str, dict] = {}
+        for dotted, value in (overrides or {}).items():
+            section, _, key = dotted.partition(".")
+            if section not in _SECTIONS or not key:
+                raise ValueError(
+                    f"override key must be 'section.key' with section in "
+                    f"{sorted(_SECTIONS)}, got {dotted!r}"
+                )
+            updates.setdefault(section, {})[key] = value
+        for section, mapping in sections.items():
+            if section not in _SECTIONS:
+                raise ValueError(
+                    f"unknown config section {section!r}; known: {sorted(_SECTIONS)}"
+                )
+            updates.setdefault(section, {}).update(mapping)
+        new_sections = {}
+        for name, section_cls in _SECTIONS.items():
+            current = getattr(self, name)
+            if name not in updates:
+                new_sections[name] = current
+                continue
+            known = {f.name for f in fields(section_cls)}
+            unknown = sorted(set(updates[name]) - known)
+            if unknown:
+                raise ValueError(
+                    f"unknown key(s) {unknown} in config section [{name}]; "
+                    f"known: {sorted(known)}"
+                )
+            hints = typing.get_type_hints(section_cls)
+            coerced = {
+                key: tuple(value)
+                if typing.get_origin(hints[key]) is tuple
+                and isinstance(value, list)
+                else value
+                for key, value in updates[name].items()
+            }
+            new_sections[name] = replace(current, **coerced)
+        return RunConfig(**new_sections)
+
+    def with_sets(self, assignments: list[str]) -> "RunConfig":
+        """Apply CLI-style ``section.key=value`` strings (the ``--set`` flag).
+
+        Value text is coerced by the target field's type annotation:
+        ints, floats, booleans, ``none``/``null`` for optional fields,
+        and comma-separated lists for tuple fields
+        (``--set sweep.m_values=64,128``).
+        """
+        overrides: dict[str, object] = {}
+        for assignment in assignments:
+            dotted, sep, text = assignment.partition("=")
+            dotted = dotted.strip()
+            section, _, key = dotted.partition(".")
+            if not sep or section not in _SECTIONS or not key:
+                raise ValueError(
+                    f"--set expects 'section.key=value' with section in "
+                    f"{sorted(_SECTIONS)}, got {assignment!r}"
+                )
+            section_cls = _SECTIONS[section]
+            hints = typing.get_type_hints(section_cls)
+            if key not in hints:
+                raise ValueError(
+                    f"unknown key {key!r} in config section [{section}]; "
+                    f"known: {sorted(hints)}"
+                )
+            overrides[dotted] = _coerce(text.strip(), hints[key])
+        return self.with_overrides(overrides)

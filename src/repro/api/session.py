@@ -1,0 +1,389 @@
+"""The Session facade: one object that owns configuration and lifecycle.
+
+A :class:`Session` binds a :class:`~repro.api.config.RunConfig` to live
+execution resources — one transform backend (and, for ``sharded``, one
+process pool), one :class:`~repro.engine.ProsperityEngine` with its
+forest cache — and exposes every experiment the CLI offers as a method:
+:meth:`run`, :meth:`simulate`, :meth:`sweep`, :meth:`density`,
+:meth:`scaling`, :meth:`tradeoff`. All calls share the same backend and
+engine, so a sharded pool is spawned at most once per session no matter
+how many experiments run through it.
+
+Results come back as structured :class:`RunResult` subclasses carrying
+the config that produced them, the wall-clock, and the layer reports
+(:class:`~repro.engine.EngineReport`, :class:`~repro.arch.SimReport`,
+sweep points, density report) — no parsing of printed tables.
+
+For concurrent callers, :meth:`submit` is a queue seam: work is
+serialized through one worker thread against the shared engine and
+returned as a :class:`concurrent.futures.Future`. A later async backend
+can widen this seam without changing the calling convention.
+
+Quickstart::
+
+    from repro.api import RunConfig, Session
+
+    cfg = RunConfig().with_overrides({"workload.model": "lenet5",
+                                      "workload.dataset": "mnist",
+                                      "engine.backend": "fused"})
+    with Session(cfg) as session:
+        result = session.run()
+        print(result.report.tiles_per_sec)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.density import DensityReport, density_report
+from repro.analysis.sweep import SweepPoint, sweep_tile_sizes
+from repro.analysis.tradeoff import TradeoffResult, evaluate_tradeoff
+from repro.api.config import RunConfig
+from repro.arch.config import DEFAULT_CONFIG
+from repro.arch.report import SimReport
+from repro.arch.scaling import ScalingPoint, scaling_study
+from repro.arch.simulator import ProsperitySimulator
+from repro.baselines import BASELINES
+from repro.engine import Backend, EngineReport, ProsperityEngine, get_backend
+from repro.snn.trace import ModelTrace
+from repro.workloads import get_trace
+
+__all__ = [
+    "DensityResult",
+    "EngineRunResult",
+    "RunResult",
+    "ScalingResult",
+    "Session",
+    "SimulationResult",
+    "SweepResult",
+    "TradeoffRunResult",
+]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Base result: the config that produced it plus wall-clock seconds."""
+
+    config: RunConfig
+    seconds: float
+
+    @property
+    def profile(self) -> dict[str, float]:
+        """Pipeline-stage wall-clock breakdown, when the run produced one."""
+        return {}
+
+
+@dataclass(frozen=True)
+class EngineRunResult(RunResult):
+    """:meth:`Session.run` outcome: the engine report, records attached."""
+
+    report: EngineReport = None  # type: ignore[assignment]
+    verified: bool | None = None  # None = verification not requested
+
+    @property
+    def profile(self) -> dict[str, float]:
+        return dict(self.report.profile)
+
+
+@dataclass(frozen=True)
+class SimulationResult(RunResult):
+    """:meth:`Session.simulate` outcome: one SimReport per accelerator."""
+
+    reports: dict[str, SimReport] = field(default_factory=dict)
+
+    @property
+    def prosperity(self) -> SimReport:
+        return self.reports["prosperity"]
+
+
+@dataclass(frozen=True)
+class SweepResult(RunResult):
+    """:meth:`Session.sweep` outcome: Fig. 7's two sweep axes."""
+
+    m_sweep: list[SweepPoint] = field(default_factory=list)
+    k_sweep: list[SweepPoint] = field(default_factory=list)
+
+    @property
+    def points(self) -> list[SweepPoint]:
+        return [*self.m_sweep, *self.k_sweep]
+
+
+@dataclass(frozen=True)
+class DensityResult(RunResult):
+    """:meth:`Session.density` outcome: the four-paradigm density report."""
+
+    report: DensityReport = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class ScalingResult(RunResult):
+    """:meth:`Session.scaling` outcome: the Sec. VIII-A scaling grid."""
+
+    points: list[ScalingPoint] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class TradeoffRunResult(RunResult):
+    """:meth:`Session.tradeoff` outcome: the Sec. VII-G benefit/cost check."""
+
+    result: TradeoffResult = None  # type: ignore[assignment]
+
+
+class Session:
+    """Config-driven facade over the engine, simulator, and analysis layers.
+
+    Parameters
+    ----------
+    config:
+        The run configuration; ``None`` uses :class:`RunConfig` defaults.
+
+    The backend and engine are constructed lazily on first use and shared
+    by every call — ``Session`` is the pool-hygiene boundary: one
+    ``sharded`` session spawns exactly one process pool across any mix of
+    :meth:`run` / :meth:`simulate` / :meth:`sweep` calls, and
+    :meth:`close` (or the context manager) releases it.
+    """
+
+    _QUEUEABLE = ("run", "simulate", "sweep", "density", "scaling", "tradeoff")
+
+    def __init__(self, config: RunConfig | None = None):
+        self.config = config if config is not None else RunConfig()
+        self._backend: Backend | None = None
+        self._engine: ProsperityEngine | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._lock = threading.RLock()
+        self._closed = False
+        self._draining = False
+
+    @classmethod
+    def from_file(cls, path: str | Path, sets: list[str] | None = None) -> "Session":
+        """Session from a TOML/JSON config file, plus optional ``--set``s."""
+        config = RunConfig.from_file(path)
+        if sets:
+            config = config.with_sets(sets)
+        return cls(config)
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def backend(self) -> Backend:
+        """The shared transform backend (constructed on first access)."""
+        with self._lock:
+            self._check_open()
+            if self._backend is None:
+                self._backend = get_backend(
+                    self.config.engine.backend, workers=self.config.engine.workers
+                )
+            return self._backend
+
+    @property
+    def engine(self) -> ProsperityEngine:
+        """The shared engine: one forest cache, one arena, one backend."""
+        with self._lock:
+            self._check_open()
+            if self._engine is None:
+                engine_cfg = self.config.engine
+                self._engine = ProsperityEngine(
+                    backend=self.backend,
+                    tile_m=engine_cfg.tile_m,
+                    tile_k=engine_cfg.tile_k,
+                    cache_size=engine_cfg.cache_size,
+                    plan=engine_cfg.plan,
+                )
+            return self._engine
+
+    def close(self) -> None:
+        """Drain the submit queue, then release engine and backend.
+
+        Idempotent; the engine only releases its arena here (it did not
+        construct the backend), so the backend — and any sharded pool —
+        is closed exactly once, by the session that owns it.
+        """
+        with self._lock:
+            if self._closed or self._draining:
+                return
+            # Refuse new submissions, but let already-queued work finish
+            # against a still-open session before resources go away.
+            self._draining = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        with self._lock:
+            self._closed = True
+            if self._engine is not None:
+                self._engine.close()
+                self._engine = None
+            if self._backend is not None:
+                self._backend.close()
+                self._backend = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
+
+    # -- workload plumbing ----------------------------------------------
+    def trace(self) -> ModelTrace:
+        """The configured model trace (cached by the workload registry)."""
+        workload = self.config.workload
+        return get_trace(
+            workload.model, workload.dataset, workload.preset, workload.seed
+        )
+
+    def _rng(self) -> np.random.Generator:
+        """A fresh, deterministically seeded sampling RNG per call.
+
+        Every experiment starts from the same seed, so flag-driven and
+        config-file-driven invocations sample identical tiles and produce
+        bit-identical records.
+        """
+        return np.random.default_rng(self.config.workload.seed)
+
+    # -- experiments ----------------------------------------------------
+    def run(self) -> EngineRunResult:
+        """Batched whole-trace engine run (the CLI's ``repro run``)."""
+        with self._lock:
+            self._check_open()
+            start = time.perf_counter()
+            trace = self.trace()
+            report = self.engine.run(trace, batch=self.config.engine.batch)
+            verified = None
+            if self.config.engine.verify:
+                verified = self.engine.verify_trace(trace)
+            return EngineRunResult(
+                config=self.config,
+                seconds=time.perf_counter() - start,
+                report=report,
+                verified=verified,
+            )
+
+    def simulate(self) -> SimulationResult:
+        """Race the configured baselines against the Prosperity simulator."""
+        with self._lock:
+            self._check_open()
+            start = time.perf_counter()
+            trace = self.trace()
+            reports: dict[str, SimReport] = {}
+            for name in self.config.simulator.baselines:
+                reports[name] = BASELINES[name]().simulate(trace)
+            engine_cfg = self.config.engine
+            arch_config = DEFAULT_CONFIG.with_tile(
+                m=engine_cfg.tile_m, k=engine_cfg.tile_k
+            )
+            simulator = ProsperitySimulator(
+                config=arch_config,
+                mode=self.config.simulator.mode,
+                max_tiles_per_workload=self.config.sampling.effective,
+                rng=self._rng(),
+                engine=self.engine,  # shared: cache, backend, pool
+            )
+            reports["prosperity"] = simulator.simulate(trace)
+            return SimulationResult(
+                config=self.config,
+                seconds=time.perf_counter() - start,
+                reports=reports,
+            )
+
+    def sweep(self) -> SweepResult:
+        """Fig. 7 tiling design sweep over the configured (m, k) grids."""
+        with self._lock:
+            self._check_open()
+            start = time.perf_counter()
+            m_sweep, k_sweep = sweep_tile_sizes(
+                [self.trace()],
+                m_values=self.config.sweep.m_values,
+                k_values=self.config.sweep.k_values,
+                max_tiles=self.config.sampling.effective,
+                rng=self._rng(),
+                backend=self.backend,  # shared instance: pool reused, kept open
+                plan=self.config.engine.plan,
+            )
+            return SweepResult(
+                config=self.config,
+                seconds=time.perf_counter() - start,
+                m_sweep=m_sweep,
+                k_sweep=k_sweep,
+            )
+
+    def density(self) -> DensityResult:
+        """Fig. 11 density comparison across sparsity paradigms."""
+        with self._lock:
+            self._check_open()
+            start = time.perf_counter()
+            report = density_report(
+                self.trace(),
+                tile_m=self.config.engine.tile_m,
+                tile_k=self.config.engine.tile_k,
+                max_tiles=self.config.sampling.effective,
+                rng=self._rng(),
+                engine=self.engine,
+            )
+            return DensityResult(
+                config=self.config,
+                seconds=time.perf_counter() - start,
+                report=report,
+            )
+
+    def scaling(self) -> ScalingResult:
+        """Sec. VIII-A multi-PPU scaling study."""
+        with self._lock:
+            self._check_open()
+            start = time.perf_counter()
+            points = scaling_study(
+                self.trace(),
+                max_tiles=self.config.sampling.effective,
+                rng=self._rng(),
+            )
+            return ScalingResult(
+                config=self.config,
+                seconds=time.perf_counter() - start,
+                points=points,
+            )
+
+    def tradeoff(self) -> TradeoffRunResult:
+        """Sec. VII-G search-overhead trade-off for the configured dS."""
+        with self._lock:
+            self._check_open()
+            start = time.perf_counter()
+            result = evaluate_tradeoff(self.config.tradeoff.sparsity_increase)
+            return TradeoffRunResult(
+                config=self.config,
+                seconds=time.perf_counter() - start,
+                result=result,
+            )
+
+    # -- concurrency seam -----------------------------------------------
+    def submit(self, kind: str) -> Future:
+        """Queue an experiment for asynchronous execution.
+
+        ``kind`` names any experiment method (``"run"``, ``"simulate"``,
+        ``"sweep"``, ``"density"``, ``"scaling"``, ``"tradeoff"``).
+        Submissions from any thread are serialized through one worker
+        against the shared engine — the safe default for process-pool
+        backends — and resolve to the same :class:`RunResult` objects the
+        direct calls return. A future async backend can widen this seam
+        (more workers, overlapped kernels) without changing callers.
+        """
+        if kind not in self._QUEUEABLE:
+            raise ValueError(
+                f"unknown experiment {kind!r}; expected one of {self._QUEUEABLE}"
+            )
+        with self._lock:
+            self._check_open()
+            if self._draining:
+                raise RuntimeError("session is closing; no new submissions")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="repro-session"
+                )
+            return self._executor.submit(getattr(self, kind))

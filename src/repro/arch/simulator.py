@@ -57,6 +57,11 @@ def _light_records(
 class ProsperitySimulator:
     """Simulates one Prosperity instance in a given execution mode.
 
+    .. note:: Direct construction remains supported, but
+       :meth:`repro.api.Session.simulate` is the canonical entry point:
+       it drives this simulator (plus the baseline lineup) from a typed
+       :class:`~repro.api.RunConfig` and shares one engine across calls.
+
     Parameters
     ----------
     config:

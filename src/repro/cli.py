@@ -1,4 +1,12 @@
-"""Command-line interface: run the paper's experiments from the shell.
+"""Command-line interface: a thin adapter over :class:`repro.api.Session`.
+
+Every subcommand builds one :class:`repro.api.RunConfig` — defaults,
+then ``--config file.toml`` (or ``.json``), then explicit flags, then
+``--set section.key=value`` overrides, in that order — opens a
+:class:`~repro.api.Session`, and renders the structured result as a
+table. A run is therefore reproducible from a config file alone:
+``repro run --config run.toml`` produces bit-identical records to the
+equivalent flag invocation.
 
 Examples
 --------
@@ -11,7 +19,9 @@ Examples
     repro scaling  --model vgg16 --dataset cifar10
     repro run      --model vgg16 --backend fused --batch 8 --verify
     repro run      --model vgg16 --backend sharded --workers 4
-    repro run      --model vgg16 --backend fused --plan trace
+    repro run      --config run.toml --set engine.plan=trace
+    repro config dump --set workload.model=lenet5 > run.toml
+    repro --version
 
 (Also runnable as ``python -m repro.cli`` when not installed.)
 """
@@ -20,60 +30,90 @@ from __future__ import annotations
 
 import argparse
 import sys
+from importlib import metadata
 
-import numpy as np
-
-from repro.analysis.density import density_report
 from repro.analysis.report import format_percent, format_ratio, format_table
-from repro.analysis.sweep import sweep_tile_sizes
-from repro.analysis.tradeoff import breakeven_sparsity_increase, evaluate_tradeoff
-from repro.arch.scaling import scaling_study
-from repro.arch.simulator import ProsperitySimulator
-from repro.baselines import BASELINES
-from repro.engine import PLAN_MODES, ProsperityEngine, available_backends
-from repro.workloads import get_trace
+from repro.analysis.tradeoff import breakeven_sparsity_increase
+from repro.api import RunConfig, Session
+from repro.engine import PLAN_MODES, available_backends
+from repro.workloads import PRESETS
 
 
-def _add_workload_args(
-    parser: argparse.ArgumentParser, sampling: bool = True
-) -> None:
-    parser.add_argument("--model", default="vgg16", help="model name (see repro.snn.models)")
-    parser.add_argument("--dataset", default="cifar10", help="dataset name")
-    parser.add_argument("--preset", default="small", choices=("small", "paper"))
-    parser.add_argument("--seed", type=int, default=7)
-    if sampling:
-        parser.add_argument("--max-tiles", type=int, default=24,
-                            help="tile sample cap per workload (0 = exact)")
+def _version() -> str:
+    """Package version from installed metadata, else the source tree."""
+    try:
+        return metadata.version("prosperity-repro")
+    except metadata.PackageNotFoundError:  # bare checkout (conftest shim)
+        import repro
+
+        return repro.__version__
 
 
-def _add_backend_arg(parser: argparse.ArgumentParser, default: str = "reference") -> None:
-    parser.add_argument(
-        "--backend", default=default, choices=available_backends(),
-        help="ProSparsity transform backend (results are identical; "
-        "fused/sharded are the fast tile-batched paths)",
-    )
-    parser.add_argument(
-        "--workers", type=int, default=None,
-        help="process count for the sharded backend "
-        "(other backends reject this option)",
-    )
-    parser.add_argument(
-        "--plan", default="matrix", choices=PLAN_MODES,
-        help="execution planning scope: 'matrix' batches per workload, "
-        "'trace' buckets and dedups tiles across the whole trace "
-        "(identical results; trace is the fast path for many workloads)",
-    )
+#: argparse attribute -> RunConfig dotted key. Flags default to ``None``
+#: so only explicitly-passed values override the config file.
+_FLAG_KEYS = {
+    "model": "workload.model",
+    "dataset": "workload.dataset",
+    "preset": "workload.preset",
+    "seed": "workload.seed",
+    "max_tiles": "sampling.max_tiles",
+    "backend": "engine.backend",
+    "workers": "engine.workers",
+    "plan": "engine.plan",
+    "batch": "engine.batch",
+    "cache_size": "engine.cache_size",
+    "verify": "engine.verify",
+    "sparsity_increase": "tradeoff.sparsity_increase",
+}
 
 
-def _max_tiles(args: argparse.Namespace) -> int | None:
-    return None if args.max_tiles == 0 else args.max_tiles
+def config_from_args(args: argparse.Namespace) -> RunConfig:
+    """Merge defaults < ``--config`` file < flags < ``--set`` overrides.
+
+    Config errors on every surface — an unreadable/invalid ``--config``
+    file, a flag value the config rejects (``--workers`` on a
+    non-sharded backend, ``--batch 0``), or a bad ``--set`` string —
+    exit with a one-line message rather than a traceback.
+    """
+    if getattr(args, "config", None):
+        try:
+            config = RunConfig.from_file(args.config)
+        except (ValueError, OSError) as exc:
+            raise SystemExit(f"repro: error: --config {args.config}: {exc}") from exc
+    else:
+        config = RunConfig()
+    overrides = {}
+    for attr, dotted in _FLAG_KEYS.items():
+        value = getattr(args, attr, None)
+        if value is not None:
+            overrides[dotted] = value
+    if overrides:
+        try:
+            config = config.with_overrides(overrides)
+        except ValueError as exc:
+            raise SystemExit(f"repro: error: {exc}") from exc
+    sets = getattr(args, "sets", None)
+    if sets:
+        try:
+            config = config.with_sets(sets)
+        except ValueError as exc:
+            raise SystemExit(f"repro: error: {exc}") from exc
+    return config
 
 
-def cmd_density(args: argparse.Namespace) -> str:
-    trace = get_trace(args.model, args.dataset, args.preset, args.seed)
-    report = density_report(
-        trace, max_tiles=_max_tiles(args), rng=np.random.default_rng(args.seed)
-    )
+def build_config(argv: list[str]) -> RunConfig:
+    """The exact config a CLI invocation would run with (test seam)."""
+    return config_from_args(build_parser().parse_args(argv))
+
+
+# ---------------------------------------------------------------------------
+# Subcommand renderers: Session results -> tables
+# ---------------------------------------------------------------------------
+
+
+def cmd_density(config: RunConfig, session: Session) -> str:
+    report = session.density().report
+    workload = config.workload
     rows = [
         ["bit (PTB/SATO)", format_percent(report.bit_density)],
         ["structured bit", format_percent(report.structured_density)],
@@ -83,22 +123,13 @@ def cmd_density(args: argparse.Namespace) -> str:
     ]
     return format_table(
         ["sparsity paradigm", "density"], rows,
-        title=f"density — {args.model}/{args.dataset} ({args.preset})",
+        title=f"density — {workload.model}/{workload.dataset} ({workload.preset})",
     )
 
 
-def cmd_simulate(args: argparse.Namespace) -> str:
-    trace = get_trace(args.model, args.dataset, args.preset, args.seed)
-    rng = np.random.default_rng(args.seed)
-    reports = {}
-    for name in ("eyeriss", "ptb", "sato", "mint", "stellar", "a100"):
-        reports[name] = BASELINES[name]().simulate(trace)
-    with ProsperitySimulator(
-        max_tiles_per_workload=_max_tiles(args), rng=rng, backend=args.backend,
-        workers=args.workers, plan=args.plan,
-    ) as simulator:
-        reports["prosperity"] = simulator.simulate(trace)
-    base = reports["eyeriss"]
+def cmd_simulate(config: RunConfig, session: Session) -> str:
+    reports = session.simulate().reports
+    base = reports[config.simulator.baselines[0]]
     rows = [
         [
             name,
@@ -109,71 +140,60 @@ def cmd_simulate(args: argparse.Namespace) -> str:
         ]
         for name, report in reports.items()
     ]
+    workload = config.workload
     return format_table(
         ["accelerator", "latency us", "speedup", "energy mJ", "EE gain"],
         rows,
-        title=f"simulation — {args.model}/{args.dataset} ({args.preset})",
+        title=(
+            f"simulation — {workload.model}/{workload.dataset}"
+            f" ({workload.preset})"
+        ),
     )
 
 
-def cmd_sweep(args: argparse.Namespace) -> str:
-    trace = get_trace(args.model, args.dataset, args.preset, args.seed)
-    m_sweep, k_sweep = sweep_tile_sizes(
-        [trace],
-        m_values=(64, 128, 256, 512),
-        k_values=(8, 16, 32),
-        max_tiles=max(args.max_tiles, 4),
-        rng=np.random.default_rng(args.seed),
-        backend=args.backend,
-        workers=args.workers,
-        plan=args.plan,
-    )
+def cmd_sweep(config: RunConfig, session: Session) -> str:
+    result = session.sweep()
     rows = [
         [p.tile_m, p.tile_k, format_percent(p.product_density),
          f"{p.latency_vs_bit:.3f}", f"{p.area_mm2:.3f}"]
-        for p in (*m_sweep, *k_sweep)
+        for p in result.points
     ]
+    workload = config.workload
     return format_table(
         ["m", "k", "pro density", "latency vs bit", "area mm2"], rows,
-        title=f"tiling sweep — {args.model}/{args.dataset}",
+        title=f"tiling sweep — {workload.model}/{workload.dataset}",
     )
 
 
-def cmd_tradeoff(args: argparse.Namespace) -> str:
-    result = evaluate_tradeoff(args.sparsity_increase)
+def cmd_tradeoff(config: RunConfig, session: Session) -> str:
+    result = session.tradeoff().result
     rows = [
         ["break-even dS", format_percent(breakeven_sparsity_increase())],
-        ["measured dS", format_percent(args.sparsity_increase)],
+        ["measured dS", format_percent(config.tradeoff.sparsity_increase)],
         ["benefit/cost", format_ratio(result.benefit_cost_ratio)],
         ["profitable", "yes" if result.profitable else "no"],
     ]
     return format_table(["quantity", "value"], rows, title="Sec. VII-G trade-off")
 
 
-def cmd_scaling(args: argparse.Namespace) -> str:
-    trace = get_trace(args.model, args.dataset, args.preset, args.seed)
-    points = scaling_study(
-        trace, max_tiles=_max_tiles(args), rng=np.random.default_rng(args.seed)
-    )
+def cmd_scaling(config: RunConfig, session: Session) -> str:
+    points = session.scaling().points
     rows = [
         [p.num_ppus, p.issue_width, format_ratio(p.speedup),
          format_percent(p.efficiency)]
         for p in points
     ]
+    workload = config.workload
     return format_table(
         ["PPUs", "issue width", "speedup", "efficiency"], rows,
-        title=f"Sec. VIII-A scaling — {args.model}/{args.dataset}",
+        title=f"Sec. VIII-A scaling — {workload.model}/{workload.dataset}",
     )
 
 
-def cmd_run(args: argparse.Namespace) -> str:
+def cmd_run(config: RunConfig, session: Session) -> str:
     """Batched end-to-end engine run: the high-throughput transform path."""
-    trace = get_trace(args.model, args.dataset, args.preset, args.seed)
-    engine = ProsperityEngine(
-        backend=args.backend, cache_size=args.cache_size, workers=args.workers,
-        plan=args.plan,
-    )
-    report = engine.run(trace, batch=args.batch)
+    result = session.run()
+    report = result.report
     rows = [
         [
             run.name,
@@ -196,11 +216,13 @@ def cmd_run(args: argparse.Namespace) -> str:
             format_ratio(stats.ops_reduction),
         ]
     )
+    workload = config.workload
     table = format_table(
         ["workload", "kind", "tiles", "bit dens", "pro dens", "reduction"],
         rows,
         title=(
-            f"engine run — {args.model}/{args.dataset} ({args.preset}) "
+            f"engine run — {workload.model}/{workload.dataset}"
+            f" ({workload.preset}) "
             f"backend={report.backend} batch={report.batch}"
         ),
     )
@@ -223,13 +245,12 @@ def cmd_run(args: argparse.Namespace) -> str:
             f"{stage}={seconds * 1e3:.1f}ms"
             for stage, seconds in report.profile.items()
         )
-    if args.verify:
-        if not engine.verify_trace(trace):
+    if result.verified is not None:
+        if not result.verified:
             raise SystemExit(
                 f"backend {report.backend!r} diverged from the reference oracle"
             )
         footer += "\nverify: tile records bit-identical to the reference backend"
-    engine.close()
     return table + footer
 
 
@@ -243,38 +264,118 @@ COMMANDS = {
 }
 
 
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--config", metavar="FILE", default=None,
+        help="TOML or JSON RunConfig file; explicit flags override it",
+    )
+    parser.add_argument(
+        "--set", dest="sets", action="append", metavar="SECTION.KEY=VALUE",
+        default=[],
+        help="config override (repeatable, applied after flags), "
+        "e.g. --set engine.plan=trace",
+    )
+
+
+def _add_workload_args(
+    parser: argparse.ArgumentParser, sampling: bool = True
+) -> None:
+    parser.add_argument("--model", default=None,
+                        help="model name (config default: vgg16)")
+    parser.add_argument("--dataset", default=None,
+                        help="dataset name (config default: cifar10)")
+    parser.add_argument("--preset", default=None, choices=PRESETS,
+                        help="workload preset (config default: small)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="trace + sampling seed (config default: 7)")
+    if sampling:
+        parser.add_argument("--max-tiles", type=int, default=None,
+                            help="tile sample cap per workload, 0 = exact "
+                            "(config default: 24)")
+
+
+def _add_backend_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", default=None, choices=available_backends(),
+        help="ProSparsity transform backend; results are identical, "
+        "fused/sharded are the fast tile-batched paths "
+        "(config default: vectorized)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process count for the sharded backend "
+        "(other backends reject this option)",
+    )
+    parser.add_argument(
+        "--plan", default=None, choices=PLAN_MODES,
+        help="execution planning scope: 'matrix' batches per workload, "
+        "'trace' buckets and dedups tiles across the whole trace "
+        "(config default: matrix)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Prosperity (HPCA 2025) reproduction experiments",
     )
+    parser.add_argument(
+        "-V", "--version", action="version", version=f"repro {_version()}"
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
     for name in ("density", "simulate", "sweep", "scaling"):
         sub = subparsers.add_parser(name)
+        _add_config_args(sub)
         _add_workload_args(sub)
-        if name in ("simulate", "sweep"):
-            _add_backend_arg(sub)
+        if name in ("density", "simulate", "sweep"):
+            _add_backend_args(sub)
     run = subparsers.add_parser(
         "run", help="batched ProSparsity engine run with backend selection"
     )
+    _add_config_args(run)
     # The engine always transforms every tile (no sampling): throughput
     # and cache numbers describe the full workload.
     _add_workload_args(run, sampling=False)
-    _add_backend_arg(run, default="vectorized")
-    run.add_argument("--batch", type=int, default=8,
-                     help="max layers stacked into one engine pass")
-    run.add_argument("--cache-size", type=int, default=4096,
-                     help="forest cache capacity in distinct tiles (0 = off)")
-    run.add_argument("--verify", action="store_true",
+    _add_backend_args(run)
+    run.add_argument("--batch", type=int, default=None,
+                     help="max layers stacked into one engine pass "
+                     "(config default: 8)")
+    run.add_argument("--cache-size", type=int, default=None,
+                     help="forest cache capacity in distinct tiles, 0 = off "
+                     "(config default: 4096)")
+    run.add_argument("--verify", action="store_true", default=None,
                      help="re-run through the reference oracle and compare")
     trade = subparsers.add_parser("tradeoff")
-    trade.add_argument("--sparsity-increase", type=float, default=0.1335)
+    _add_config_args(trade)
+    trade.add_argument("--sparsity-increase", type=float, default=None,
+                       help="measured dS (config default: 0.1335)")
+    config_cmd = subparsers.add_parser(
+        "config", help="inspect the merged run configuration"
+    )
+    config_sub = config_cmd.add_subparsers(dest="config_command", required=True)
+    dump = config_sub.add_parser(
+        "dump", help="print the merged config as TOML (or JSON)"
+    )
+    _add_config_args(dump)
+    dump.add_argument("--json", action="store_true",
+                      help="emit JSON instead of TOML")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    output = COMMANDS[args.command](args)
+    config = config_from_args(args)
+    if args.command == "config":
+        output = config.to_json() if args.json else config.to_toml()
+        print(output, end="" if output.endswith("\n") else "\n")
+        return 0
+    with Session(config) as session:
+        output = COMMANDS[args.command](config, session)
     print(output)
     return 0
 

@@ -48,9 +48,13 @@ __all__ = [
     "ReferenceBackend",
     "VectorizedBackend",
     "available_backends",
+    "backend_accepts_option",
+    "backend_option_error",
     "code_width",
     "get_backend",
     "register_backend",
+    "unknown_backend_error",
+    "validate_workers",
 ]
 
 
@@ -392,6 +396,45 @@ def register_backend(cls: type[Backend]) -> type[Backend]:
     return cls
 
 
+def unknown_backend_error(backend: str) -> ValueError:
+    """The canonical unknown-backend error, shared by every entry point."""
+    return ValueError(
+        f"unknown backend {backend!r}; available: {available_backends()}"
+    )
+
+
+def backend_option_error(backend: str, options) -> ValueError:
+    """The canonical option-rejection error.
+
+    Every layer that rejects an option a backend cannot take — the
+    registry, the engine, and :class:`repro.api.RunConfig` validation —
+    raises exactly this wording, so callers can match one message.
+    """
+    return ValueError(
+        f"backend {backend!r} does not accept option(s) {sorted(options)}"
+    )
+
+
+def backend_accepts_option(backend: str, option: str) -> bool:
+    """Whether the named backend's constructor takes ``option``.
+
+    Raises :func:`unknown_backend_error` for unregistered names, so
+    config validation and backend construction fail identically.
+    """
+    try:
+        cls = _BACKENDS[backend]
+    except KeyError:
+        raise unknown_backend_error(backend) from None
+    return option in inspect.signature(cls.__init__).parameters
+
+
+def validate_workers(workers: int) -> int:
+    """Shared worker-count validation (``>= 1``), one wording everywhere."""
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return int(workers)
+
+
 register_backend(ReferenceBackend)
 register_backend(VectorizedBackend)
 
@@ -420,11 +463,9 @@ def get_backend(backend: str | Backend, **options) -> Backend:
     try:
         cls = _BACKENDS[backend]
     except KeyError:
-        raise ValueError(
-            f"unknown backend {backend!r}; available: {available_backends()}"
-        ) from None
+        raise unknown_backend_error(backend) from None
     accepted = inspect.signature(cls.__init__).parameters
-    unknown = sorted(set(options) - set(accepted))
+    unknown = set(options) - set(accepted)
     if unknown:
-        raise ValueError(f"backend {backend!r} does not accept option(s) {unknown}")
+        raise backend_option_error(backend, unknown)
     return cls(**options)

@@ -25,7 +25,7 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 
 from repro.core.prosparsity import TILE_RECORD_FIELDS
-from repro.engine.backends import register_backend
+from repro.engine.backends import register_backend, validate_workers
 from repro.engine.fused import FusedBackend, records_from_codes_batch
 
 __all__ = ["ShardedBackend", "shard_bounds"]
@@ -86,9 +86,7 @@ class ShardedBackend(FusedBackend):
         super().__init__()
         if workers is None:
             workers = min(os.cpu_count() or 1, 8)
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
-        self.workers = int(workers)
+        self.workers = validate_workers(workers)
         self._pool: ProcessPoolExecutor | None = None
         #: Pools spawned over this backend's lifetime. Stays at 1 across
         #: any number of calls (and at 0 until the pool path engages) —

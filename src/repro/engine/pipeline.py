@@ -248,6 +248,12 @@ class EngineReport:
 class ProsperityEngine:
     """Batched, backend-pluggable ProSparsity execution engine.
 
+    .. note:: Direct construction is the low-level path and remains
+       supported, but :class:`repro.api.Session` is the canonical entry
+       point: it builds this engine from a typed
+       :class:`~repro.api.RunConfig` and shares one backend (and sharded
+       pool) across runs, simulations, and sweeps.
+
     Parameters
     ----------
     backend:

@@ -78,6 +78,9 @@ _PRESET_KWARGS: dict[str, dict[str, dict]] = {
     },
 }
 
+#: Valid ``preset`` names for :func:`get_trace` (and config validation).
+PRESETS: tuple[str, ...] = tuple(sorted(_PRESET_KWARGS))
+
 _TRACE_CACHE: dict[tuple[str, str, str, int], ModelTrace] = {}
 
 

@@ -1,0 +1,239 @@
+"""RunConfig: validation, TOML/JSON round-trips, immutable overrides."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import RunConfig
+from repro.api.config import tomllib
+from repro.engine import get_backend
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        cfg = RunConfig()
+        assert cfg.engine.backend == "vectorized"
+        assert cfg.workload.model == "vgg16"
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            RunConfig().with_overrides({"engine.backend": "bogus"})
+
+    def test_workers_on_non_sharded_backend(self):
+        with pytest.raises(ValueError, match="does not accept"):
+            RunConfig().with_overrides(
+                {"engine.backend": "vectorized", "engine.workers": 2}
+            )
+
+    def test_workers_rejection_wording_matches_backend_layer(self):
+        """Satellite contract: config-time and construction-time rejection
+        of ``workers`` raise the identical ValueError wording."""
+        with pytest.raises(ValueError) as config_err:
+            RunConfig().with_overrides(
+                {"engine.backend": "fused", "engine.workers": 2}
+            )
+        with pytest.raises(ValueError) as backend_err:
+            get_backend("fused", workers=2)
+        assert str(config_err.value) == str(backend_err.value)
+
+    def test_workers_on_sharded_accepted(self):
+        cfg = RunConfig().with_overrides(
+            {"engine.backend": "sharded", "engine.workers": 2}
+        )
+        assert cfg.engine.workers == 2
+
+    def test_workers_below_one(self):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            RunConfig().with_overrides(
+                {"engine.backend": "sharded", "engine.workers": 0}
+            )
+
+    def test_bad_plan(self):
+        with pytest.raises(ValueError, match="unknown plan mode"):
+            RunConfig().with_overrides({"engine.plan": "bogus"})
+
+    def test_bad_preset(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            RunConfig().with_overrides({"workload.preset": "huge"})
+
+    def test_bad_batch(self):
+        with pytest.raises(ValueError, match="batch must be >= 1"):
+            RunConfig().with_overrides({"engine.batch": 0})
+
+    def test_bad_tile_shape(self):
+        with pytest.raises(ValueError):
+            RunConfig().with_overrides({"engine.tile_k": 0})
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            RunConfig().with_overrides({"simulator.mode": "warp"})
+
+    def test_unknown_baseline(self):
+        with pytest.raises(ValueError, match="unknown baseline"):
+            RunConfig().with_overrides({"simulator.baselines": ("tpu",)})
+
+    def test_empty_baselines(self):
+        with pytest.raises(ValueError, match="at least one accelerator"):
+            RunConfig().with_overrides({"simulator.baselines": ()})
+        with pytest.raises(ValueError, match="at least one accelerator"):
+            RunConfig().with_sets(["simulator.baselines="])
+
+    def test_negative_max_tiles(self):
+        with pytest.raises(ValueError, match="max_tiles must be >= 0"):
+            RunConfig().with_overrides({"sampling.max_tiles": -1})
+
+    def test_empty_sweep_axis(self):
+        with pytest.raises(ValueError, match="m_values"):
+            RunConfig().with_overrides({"sweep.m_values": ()})
+
+    def test_negative_sparsity_increase(self):
+        with pytest.raises(ValueError, match="sparsity_increase"):
+            RunConfig().with_overrides({"tradeoff.sparsity_increase": -0.5})
+
+
+class TestDictRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        cfg = RunConfig().with_overrides(
+            {"engine.backend": "sharded", "engine.workers": 3,
+             "workload.model": "lenet5", "sweep.k_values": (8, 16)}
+        )
+        assert RunConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_to_dict_drops_none(self):
+        assert "workers" not in RunConfig().to_dict()["engine"]
+
+    def test_unknown_section(self):
+        with pytest.raises(ValueError, match="unknown config section"):
+            RunConfig.from_dict({"warp": {}})
+
+    def test_unknown_key(self):
+        with pytest.raises(ValueError, match=r"unknown key\(s\).*\[engine\]"):
+            RunConfig.from_dict({"engine": {"speed": 11}})
+
+    def test_partial_dict_fills_defaults(self):
+        cfg = RunConfig.from_dict({"workload": {"model": "lenet5"}})
+        assert cfg.workload.model == "lenet5"
+        assert cfg.workload.dataset == "cifar10"
+        assert cfg.engine == RunConfig().engine
+
+
+@pytest.mark.skipif(tomllib is None, reason="no TOML reader on this Python")
+class TestFileRoundTrip:
+    CFG = {
+        "workload.model": "lenet5",
+        "workload.dataset": "mnist",
+        "engine.backend": "fused",
+        "engine.plan": "trace",
+        "sampling.max_tiles": 0,
+        "sweep.m_values": (64, 128),
+    }
+
+    def test_toml_round_trip_idempotent(self, tmp_path):
+        cfg = RunConfig().with_overrides(self.CFG)
+        path = tmp_path / "run.toml"
+        cfg.to_file(path)
+        loaded = RunConfig.from_file(path)
+        assert loaded == cfg
+        # Idempotence: dumping the loaded config reproduces the bytes.
+        assert loaded.to_toml() == path.read_text()
+
+    def test_json_round_trip_idempotent(self, tmp_path):
+        cfg = RunConfig().with_overrides(self.CFG)
+        path = tmp_path / "run.json"
+        cfg.to_file(path)
+        loaded = RunConfig.from_file(path)
+        assert loaded == cfg
+        assert loaded.to_json() == path.read_text()
+
+    def test_toml_and_json_agree(self, tmp_path):
+        cfg = RunConfig().with_overrides(self.CFG)
+        toml_path = cfg.to_file(tmp_path / "a.toml")
+        json_path = cfg.to_file(tmp_path / "a.json")
+        assert RunConfig.from_file(toml_path) == RunConfig.from_file(json_path)
+
+    def test_emitted_toml_is_valid_toml(self):
+        parsed = tomllib.loads(RunConfig().to_toml())
+        assert parsed["workload"]["model"] == "vgg16"
+        assert parsed["sweep"]["m_values"] == [64, 128, 256, 512]
+
+    def test_emitted_json_is_valid_json(self):
+        parsed = json.loads(RunConfig().to_json())
+        assert parsed["engine"]["backend"] == "vectorized"
+
+    def test_unsupported_suffix(self, tmp_path):
+        with pytest.raises(ValueError, match=".toml or .json"):
+            RunConfig().to_file(tmp_path / "run.yaml")
+        with pytest.raises(ValueError, match=".toml or .json"):
+            RunConfig.from_file(tmp_path / "run.yaml")
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new_instance(self):
+        base = RunConfig()
+        derived = base.with_overrides({"engine.backend": "fused"})
+        assert derived.engine.backend == "fused"
+        assert base.engine.backend == "vectorized"  # immutability
+        assert derived is not base
+
+    def test_frozen_sections(self):
+        cfg = RunConfig()
+        with pytest.raises(AttributeError):
+            cfg.engine.backend = "fused"  # type: ignore[misc]
+        with pytest.raises(AttributeError):
+            cfg.workload = cfg.workload  # type: ignore[misc]
+
+    def test_section_kwargs(self):
+        cfg = RunConfig().with_overrides(workload={"model": "lenet5",
+                                                   "dataset": "mnist"})
+        assert (cfg.workload.model, cfg.workload.dataset) == ("lenet5", "mnist")
+
+    def test_bad_dotted_key(self):
+        with pytest.raises(ValueError, match="section.key"):
+            RunConfig().with_overrides({"backend": "fused"})
+
+    def test_unknown_override_key(self):
+        with pytest.raises(ValueError, match=r"unknown key\(s\)"):
+            RunConfig().with_overrides({"engine.speed": 11})
+
+    def test_list_coerced_to_tuple(self):
+        cfg = RunConfig().with_overrides({"sweep.m_values": [32, 64]})
+        assert cfg.sweep.m_values == (32, 64)
+
+
+class TestWithSets:
+    def test_type_coercion(self):
+        cfg = RunConfig().with_sets([
+            "engine.backend=sharded",
+            "engine.workers=4",
+            "engine.verify=true",
+            "sampling.max_tiles=0",
+            "sweep.m_values=64,128",
+            "tradeoff.sparsity_increase=0.2",
+        ])
+        assert cfg.engine.backend == "sharded"
+        assert cfg.engine.workers == 4
+        assert cfg.engine.verify is True
+        assert cfg.sampling.max_tiles == 0
+        assert cfg.sampling.effective is None
+        assert cfg.sweep.m_values == (64, 128)
+        assert cfg.tradeoff.sparsity_increase == pytest.approx(0.2)
+
+    def test_none_for_optional(self):
+        base = RunConfig().with_sets(["engine.backend=sharded",
+                                      "engine.workers=2"])
+        cleared = base.with_sets(["engine.workers=none"])
+        assert cleared.engine.workers is None
+
+    def test_missing_equals(self):
+        with pytest.raises(ValueError, match="section.key=value"):
+            RunConfig().with_sets(["engine.backend"])
+
+    def test_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            RunConfig().with_sets(["engine.speed=11"])
+
+    def test_bad_bool(self):
+        with pytest.raises(ValueError, match="boolean"):
+            RunConfig().with_sets(["engine.verify=maybe"])

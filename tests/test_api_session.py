@@ -1,0 +1,222 @@
+"""Session facade: shared lifecycle, structured results, queue seam."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.density import density_report
+from repro.api import (
+    DensityResult,
+    EngineRunResult,
+    RunConfig,
+    Session,
+    SimulationResult,
+    SweepResult,
+)
+from repro.engine import ProsperityEngine
+
+LENET = {
+    "workload.model": "lenet5",
+    "workload.dataset": "mnist",
+    "sampling.max_tiles": 4,
+}
+
+
+def lenet_config(**extra) -> RunConfig:
+    return RunConfig().with_overrides({**LENET, **extra})
+
+
+class TestLifecycle:
+    def test_engine_and_backend_shared(self):
+        with Session(lenet_config()) as session:
+            assert session.engine is session.engine
+            assert session.backend is session.backend
+            assert session.engine.backend is session.backend
+
+    def test_engine_reflects_config(self):
+        cfg = lenet_config(**{
+            "engine.backend": "fused", "engine.plan": "trace",
+            "engine.tile_m": 128, "engine.tile_k": 8,
+            "engine.cache_size": 0,
+        })
+        with Session(cfg) as session:
+            engine = session.engine
+            assert engine.backend.name == "fused"
+            assert engine.plan == "trace"
+            assert (engine.tile_m, engine.tile_k) == (128, 8)
+            assert engine.cache is None
+
+    def test_closed_session_rejects_calls(self):
+        session = Session(lenet_config())
+        session.close()
+        session.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            session.run()
+        with pytest.raises(RuntimeError, match="closed"):
+            _ = session.engine
+
+    def test_close_releases_sharded_pool(self):
+        cfg = lenet_config(**{"engine.backend": "sharded",
+                              "engine.workers": 2, "engine.plan": "trace"})
+        session = Session(cfg)
+        backend = session.backend
+        session.run()
+        session.close()
+        assert backend._pool is None
+
+    def test_default_config(self):
+        session = Session()
+        assert session.config == RunConfig()
+        session.close()
+
+    def test_from_file(self, tmp_path):
+        path = lenet_config().to_file(tmp_path / "run.json")
+        with Session.from_file(path, sets=["engine.backend=fused"]) as session:
+            assert session.config.workload.model == "lenet5"
+            assert session.config.engine.backend == "fused"
+
+
+class TestResults:
+    def test_run_matches_direct_engine(self):
+        cfg = lenet_config(**{"engine.backend": "fused"})
+        with Session(cfg) as session:
+            result = session.run()
+        assert isinstance(result, EngineRunResult)
+        assert result.config is cfg
+        assert result.seconds > 0
+        assert result.verified is None  # not requested
+        with ProsperityEngine(backend="fused") as engine:
+            direct = engine.run(session.trace(), batch=cfg.engine.batch)
+        assert result.report.total_tiles == direct.total_tiles
+        for mine, theirs in zip(result.report.runs, direct.runs):
+            assert np.array_equal(mine.records, theirs.records)
+
+    def test_run_verify_flag(self):
+        cfg = lenet_config(**{"engine.backend": "vectorized",
+                              "engine.verify": True})
+        with Session(cfg) as session:
+            assert session.run().verified is True
+
+    def test_profile_attached(self):
+        cfg = lenet_config(**{"engine.backend": "fused", "engine.plan": "trace"})
+        with Session(cfg) as session:
+            result = session.run()
+        assert {"plan", "dedup", "select"} <= set(result.profile)
+        assert result.report.dedup_ratio >= 1.0
+
+    def test_simulate_reports(self):
+        cfg = lenet_config(**{"simulator.baselines": ("eyeriss", "ptb")})
+        with Session(cfg) as session:
+            result = session.simulate()
+        assert isinstance(result, SimulationResult)
+        assert sorted(result.reports) == ["eyeriss", "prosperity", "ptb"]
+        assert result.prosperity.seconds > 0
+
+    def test_density_matches_core_path(self):
+        """Session density (engine-backed) is bit-identical to the
+        pre-Session CLI path (core transform, same seed)."""
+        with Session(lenet_config()) as session:
+            mine = session.density().report
+            reference = density_report(
+                session.trace(), max_tiles=4,
+                rng=np.random.default_rng(session.config.workload.seed),
+            )
+        assert isinstance(mine, type(reference))
+        assert mine.product_density == reference.product_density
+        assert mine.bit_density == reference.bit_density
+
+    def test_sweep_honors_exact_sampling(self, monkeypatch):
+        """max_tiles=0 means exact everywhere, including sweep()."""
+        import repro.api.session as session_mod
+
+        captured = {}
+
+        def fake_sweep(traces, **kwargs):
+            captured.update(kwargs)
+            return [], []
+
+        monkeypatch.setattr(session_mod, "sweep_tile_sizes", fake_sweep)
+        with Session(lenet_config(**{"sampling.max_tiles": 0})) as session:
+            session.sweep()
+        assert captured["max_tiles"] is None
+
+    def test_sweep_points(self):
+        cfg = lenet_config(**{"sweep.m_values": (64,), "sweep.k_values": (8,)})
+        with Session(cfg) as session:
+            result = session.sweep()
+        assert isinstance(result, SweepResult)
+        assert [p.tile_m for p in result.m_sweep] == [64]
+        assert [p.tile_k for p in result.k_sweep] == [8]
+        assert len(result.points) == 2
+
+    def test_scaling_and_tradeoff(self):
+        with Session(lenet_config()) as session:
+            scaling = session.scaling()
+            tradeoff = session.tradeoff()
+        assert len(scaling.points) > 0
+        assert tradeoff.result.profitable  # dS=0.1335 > 4.4% break-even
+
+    def test_density_result_type(self):
+        with Session(lenet_config()) as session:
+            assert isinstance(session.density(), DensityResult)
+
+
+class TestPoolReuse:
+    def test_one_pool_across_run_simulate_sweep(self):
+        """Acceptance: a sharded Session spawns exactly one process pool
+        no matter which experiments run through it."""
+        cfg = lenet_config(**{
+            "engine.backend": "sharded", "engine.workers": 2,
+            "engine.plan": "trace",
+            "sweep.m_values": (64,), "sweep.k_values": (8,),
+        })
+        with Session(cfg) as session:
+            session.run()
+            assert session.backend.pools_spawned == 1  # pool engaged
+            session.simulate()
+            session.sweep()
+            session.run()
+            assert session.backend.pools_spawned == 1
+
+    def test_sharded_records_bit_identical(self):
+        sharded_cfg = lenet_config(**{"engine.backend": "sharded",
+                                      "engine.workers": 2,
+                                      "engine.plan": "trace"})
+        reference_cfg = lenet_config(**{"engine.backend": "reference"})
+        with Session(sharded_cfg) as sharded, Session(reference_cfg) as ref:
+            mine = sharded.run().report
+            theirs = ref.run().report
+        for a, b in zip(mine.runs, theirs.runs):
+            assert np.array_equal(a.records, b.records)
+
+
+class TestSubmitQueue:
+    def test_submit_matches_direct_call(self):
+        cfg = lenet_config(**{"engine.backend": "fused"})
+        with Session(cfg) as session:
+            queued = session.submit("run").result()
+            direct = session.run()
+        assert queued.report.total_tiles == direct.report.total_tiles
+        for a, b in zip(queued.report.runs, direct.report.runs):
+            assert np.array_equal(a.records, b.records)
+
+    def test_concurrent_submissions_share_engine(self):
+        with Session(lenet_config()) as session:
+            futures = [session.submit(kind)
+                       for kind in ("run", "density", "tradeoff")]
+            results = [f.result() for f in futures]
+        assert isinstance(results[0], EngineRunResult)
+        assert isinstance(results[1], DensityResult)
+        assert results[2].result.profitable
+
+    def test_unknown_kind(self):
+        with Session(lenet_config()) as session:
+            with pytest.raises(ValueError, match="unknown experiment"):
+                session.submit("fly")
+
+    def test_close_drains_queue(self):
+        session = Session(lenet_config())
+        future = session.submit("density")
+        session.close()
+        assert future.result().report.product_density > 0

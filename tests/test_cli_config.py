@@ -1,0 +1,179 @@
+"""CLI as a thin Session adapter: --config/--set/--version, help goldens."""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import pathlib
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import RunConfig, Session
+from repro.api.config import tomllib
+from repro.cli import build_config, build_parser, main
+
+HELP_DIR = pathlib.Path(__file__).parent / "data" / "cli_help"
+
+#: golden-file name -> argv producing that help text
+HELP_CASES = {
+    "root": ["--help"],
+    "density": ["density", "--help"],
+    "simulate": ["simulate", "--help"],
+    "sweep": ["sweep", "--help"],
+    "scaling": ["scaling", "--help"],
+    "run": ["run", "--help"],
+    "tradeoff": ["tradeoff", "--help"],
+    "config": ["config", "--help"],
+    "config_dump": ["config", "dump", "--help"],
+}
+
+
+def _capture_exit(argv: list[str]) -> tuple[str, int]:
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+    return buffer.getvalue(), excinfo.value.code or 0
+
+
+class TestVersion:
+    def test_version_flag(self):
+        out, code = _capture_exit(["--version"])
+        assert code == 0
+        assert out.strip() == f"repro {repro.__version__}"
+
+    def test_short_flag(self):
+        out, _ = _capture_exit(["-V"])
+        assert out.startswith("repro ")
+
+    def test_matches_package_metadata_when_installed(self):
+        from importlib import metadata
+
+        try:
+            installed = metadata.version("prosperity-repro")
+        except metadata.PackageNotFoundError:
+            pytest.skip("package not installed (bare checkout)")
+        out, _ = _capture_exit(["--version"])
+        assert out.strip() == f"repro {installed}"
+
+
+class TestHelpGoldens:
+    """Every subcommand's --help surface is pinned; flag drift must be
+    deliberate (regenerate via tests/data/cli_help/README.md)."""
+
+    @pytest.mark.parametrize("name", sorted(HELP_CASES))
+    def test_help_matches_golden(self, name, monkeypatch):
+        monkeypatch.setenv("COLUMNS", "80")
+        out, code = _capture_exit(HELP_CASES[name])
+        assert code == 0
+        golden = (HELP_DIR / f"{name}.txt").read_text()
+        assert out == golden, (
+            f"--help drift for {name!r}; if intentional, regenerate "
+            "tests/data/cli_help (see its README.md)"
+        )
+
+
+class TestConfigPrecedence:
+    def test_flags_override_config_file(self, tmp_path):
+        path = RunConfig().with_overrides(
+            {"engine.backend": "reference"}
+        ).to_file(tmp_path / "run.json")
+        cfg = build_config(
+            ["run", "--config", str(path), "--backend", "fused"]
+        )
+        assert cfg.engine.backend == "fused"
+
+    def test_set_overrides_flags(self):
+        cfg = build_config(
+            ["run", "--backend", "vectorized", "--set", "engine.backend=fused"]
+        )
+        assert cfg.engine.backend == "fused"
+
+    def test_defaults_without_flags(self):
+        cfg = build_config(["run"])
+        assert cfg == RunConfig()
+
+    def test_workers_rejected_at_config_time(self):
+        with pytest.raises(SystemExit, match="does not accept"):
+            build_config(["run", "--backend", "vectorized", "--workers", "2"])
+
+    def test_bad_flag_combo_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="repro: error: batch must be >= 1"):
+            build_config(["run", "--batch", "0"])
+
+    def test_missing_config_file_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="repro: error: --config"):
+            build_config(["run", "--config", "does-not-exist.toml"])
+
+    def test_bad_set_value_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="repro: error: unknown backend"):
+            build_config(["run", "--set", "engine.backend=bogus"])
+
+
+class TestConfigDump:
+    def test_dump_round_trips(self, capsys):
+        assert main(["config", "dump", "--set", "workload.model=lenet5"]) == 0
+        out = capsys.readouterr().out
+        if tomllib is None:
+            pytest.skip("no TOML reader on this Python")
+        loaded = RunConfig.from_dict(tomllib.loads(out))
+        assert loaded.workload.model == "lenet5"
+        assert loaded == RunConfig().with_overrides({"workload.model": "lenet5"})
+
+    def test_dump_json(self, capsys):
+        import json
+
+        assert main(["config", "dump", "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["engine"]["backend"] == "vectorized"
+
+    def test_dump_then_config_flag(self, capsys, tmp_path):
+        """`repro config dump > f.toml; repro run --config f.toml` works."""
+        if tomllib is None:
+            pytest.skip("no TOML reader on this Python")
+        assert main(["config", "dump", "--set", "workload.model=lenet5",
+                     "--set", "workload.dataset=mnist"]) == 0
+        path = tmp_path / "run.toml"
+        path.write_text(capsys.readouterr().out)
+        assert main(["run", "--config", str(path)]) == 0
+        assert "lenet5/mnist" in capsys.readouterr().out
+
+
+class TestConfigFileEquivalence:
+    """Acceptance: a config file alone reproduces the flag invocation."""
+
+    FLAGS = ["--model", "lenet5", "--dataset", "mnist",
+             "--backend", "fused", "--plan", "trace"]
+
+    def test_run_records_bit_identical(self, tmp_path):
+        flag_cfg = build_config(["run", *self.FLAGS])
+        path = flag_cfg.to_file(tmp_path / "run.json")
+        file_cfg = build_config(["run", "--config", str(path)])
+        assert file_cfg == flag_cfg
+        with Session(flag_cfg) as a, Session(file_cfg) as b:
+            mine, theirs = a.run().report, b.run().report
+        assert mine.total_tiles == theirs.total_tiles
+        for run_a, run_b in zip(mine.runs, theirs.runs):
+            assert run_a.name == run_b.name
+            assert np.array_equal(run_a.records, run_b.records)
+
+    @pytest.mark.parametrize("command", ["density", "tradeoff", "scaling"])
+    def test_deterministic_commands_print_identically(
+        self, command, capsys, tmp_path
+    ):
+        argv = [command, "--model", "lenet5", "--dataset", "mnist",
+                "--max-tiles", "4"] if command != "tradeoff" else [command]
+        assert main(argv) == 0
+        from_flags = capsys.readouterr().out
+        path = build_config(argv).to_file(tmp_path / "cfg.json")
+        assert main([command, "--config", str(path)]) == 0
+        assert capsys.readouterr().out == from_flags
+
+    def test_cli_run_with_config_file(self, capsys, tmp_path):
+        path = build_config(["run", *self.FLAGS]).to_file(tmp_path / "r.json")
+        assert main(["run", "--config", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "backend=fused" in out
+        assert "plan: trace" in out

@@ -302,7 +302,9 @@ class TestCliSharded:
     def test_cli_rejects_workers_for_vectorized(self):
         from repro.cli import main
 
-        with pytest.raises(ValueError, match="does not accept"):
+        # Config validation rejects the combo with a clean one-line exit
+        # (same "does not accept" wording as get_backend itself).
+        with pytest.raises(SystemExit, match="does not accept"):
             main(
                 ["run", "--model", "lenet5", "--dataset", "mnist",
                  "--backend", "vectorized", "--workers", "2"]
