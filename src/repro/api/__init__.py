@@ -3,31 +3,45 @@
 This package is the canonical way to drive the system:
 
 * :class:`RunConfig` — a frozen, validated, serializable description of
-  a run (workload / engine / simulator / sampling / sweep / tradeoff
-  sections; TOML + JSON round-trip; ``with_overrides`` for sweeps).
+  a run (workload / engine / simulator / sampling / sweep / tradeoff /
+  scheduler sections; TOML + JSON round-trip; ``with_overrides`` for
+  sweeps).
 * :class:`Session` — one facade owning backend/engine lifecycle, with
   ``run()`` / ``simulate()`` / ``sweep()`` / ``density()`` /
-  ``scaling()`` / ``tradeoff()`` returning structured results, and a
-  ``submit()`` queue seam for concurrent callers.
+  ``scaling()`` / ``tradeoff()`` returning structured results, a
+  ``submit()`` queue seam for concurrent callers, and ``stream()``
+  yielding per-workload chunks as they complete.
+* :class:`Scheduler` — the serving layer: many concurrent typed job
+  submissions (:class:`Job` / :class:`JobHandle`), compatible engine
+  jobs coalesced into shared trace-planner batches (one global dedup,
+  one kernel launch per shape bucket, per-job scatter-back), bounded
+  queue depth, cancellation, and streaming.
+* :class:`AsyncSession` — ``asyncio`` wrappers (``await run()`` /
+  ``gather()`` / ``async for chunk in stream()``) over the scheduler.
 
 The lower-level entry points (``ProsperityEngine``,
 ``ProsperitySimulator``, ``sweep_tile_sizes``) remain supported, but new
-code — and the ``repro`` CLI — should go through ``Session`` so
-configuration stays in one typed object and pooled resources are shared.
+code — and the ``repro`` CLI — should go through ``Session`` (or, for
+many concurrent jobs, ``Scheduler``) so configuration stays in one
+typed object and pooled resources are shared.
 """
 
+from repro.api.aio import AsyncSession
 from repro.api.config import (
     EngineConfig,
     RunConfig,
     SamplingConfig,
+    SchedulerConfig,
     SimulatorConfig,
     SweepConfig,
     TradeoffConfig,
     WorkloadConfig,
 )
+from repro.api.scheduler import Job, JobHandle, Scheduler
 from repro.api.session import (
     DensityResult,
     EngineRunResult,
+    RunChunk,
     RunResult,
     ScalingResult,
     Session,
@@ -37,13 +51,19 @@ from repro.api.session import (
 )
 
 __all__ = [
+    "AsyncSession",
     "DensityResult",
     "EngineConfig",
     "EngineRunResult",
+    "Job",
+    "JobHandle",
+    "RunChunk",
     "RunConfig",
     "RunResult",
     "SamplingConfig",
     "ScalingResult",
+    "Scheduler",
+    "SchedulerConfig",
     "Session",
     "SimulationResult",
     "SimulatorConfig",

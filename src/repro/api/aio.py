@@ -1,0 +1,135 @@
+"""Asyncio facade over the serving scheduler.
+
+:class:`AsyncSession` exposes the same experiments as
+:class:`~repro.api.Session`, but every method is a coroutine that
+awaits a :class:`~repro.api.scheduler.Scheduler` job instead of
+blocking the event loop — concurrent ``await session.run()`` calls (or
+one :meth:`gather`) therefore coalesce into shared planner batches
+exactly like threaded ``submit()`` clients, and
+:meth:`stream` is an async iterator over per-workload
+:class:`~repro.api.session.RunChunk` results.
+
+Quickstart::
+
+    import asyncio
+    from repro.api import AsyncSession, RunConfig
+
+    async def main():
+        base = RunConfig().with_overrides({"workload.model": "lenet5",
+                                           "workload.dataset": "mnist",
+                                           "engine.backend": "fused"})
+        async with AsyncSession(base) as session:
+            results = await session.gather(base, base, base)  # one batch
+            async for chunk in session.stream():
+                print(chunk.index, chunk.workloads)
+
+    asyncio.run(main())
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.api.config import RunConfig
+from repro.api.scheduler import Job, JobHandle, Scheduler
+from repro.api.session import RunResult
+
+__all__ = ["AsyncSession"]
+
+
+class AsyncSession:
+    """Asyncio wrapper: ``await``-able experiments over one scheduler.
+
+    Parameters
+    ----------
+    config:
+        Default config for jobs submitted without one.
+    scheduler:
+        An existing :class:`Scheduler` to share (e.g. with threaded
+        clients); the async session then does not close it. Without
+        one, the session owns a private scheduler and closes it on
+        ``async with`` exit / :meth:`close`.
+
+    Execution happens on the scheduler's dispatcher thread; the event
+    loop only ever waits on futures, so many coroutines can submit
+    concurrently and be coalesced into one planner batch.
+    """
+
+    def __init__(
+        self,
+        config: RunConfig | None = None,
+        *,
+        scheduler: Scheduler | None = None,
+    ):
+        self._owns_scheduler = scheduler is None
+        self.scheduler = scheduler if scheduler is not None else Scheduler(config)
+        self.config = config if config is not None else self.scheduler.config
+
+    async def __aenter__(self) -> "AsyncSession":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        """Drain and close the owned scheduler (shared ones stay open)."""
+        if self._owns_scheduler:
+            await asyncio.to_thread(self.scheduler.close)
+
+    # -- experiments ----------------------------------------------------
+    async def _submit(self, kind: str, config: RunConfig | None,
+                      **kwargs) -> JobHandle:
+        """Submit off-loop: ``submit()`` blocks on queue backpressure
+        (``max_inflight``), which must never stall the event loop."""
+        return await asyncio.to_thread(
+            self.scheduler.submit, kind, config, **kwargs
+        )
+
+    async def _run_kind(self, kind: str, config: RunConfig | None) -> RunResult:
+        handle = await self._submit(kind, config)
+        return await asyncio.wrap_future(handle.future)
+
+    async def run(self, config: RunConfig | None = None) -> RunResult:
+        """``await``-able :meth:`Session.run` (coalescable across callers)."""
+        return await self._run_kind("run", config)
+
+    async def simulate(self, config: RunConfig | None = None) -> RunResult:
+        return await self._run_kind("simulate", config)
+
+    async def sweep(self, config: RunConfig | None = None) -> RunResult:
+        return await self._run_kind("sweep", config)
+
+    async def density(self, config: RunConfig | None = None) -> RunResult:
+        return await self._run_kind("density", config)
+
+    async def scaling(self, config: RunConfig | None = None) -> RunResult:
+        return await self._run_kind("scaling", config)
+
+    async def tradeoff(self, config: RunConfig | None = None) -> RunResult:
+        return await self._run_kind("tradeoff", config)
+
+    async def gather(self, *jobs) -> list[RunResult]:
+        """Submit many jobs as one batch and await every result in order.
+
+        Each job is a :class:`~repro.api.scheduler.Job`, a bare
+        :class:`RunConfig` (a run job), or an experiment kind name.
+        Jobs enter the queue atomically, so compatible engine jobs land
+        in the same coalesced planner batch.
+        """
+        batch = [Job.of(job) for job in jobs]
+        handles = await asyncio.to_thread(self.scheduler.submit_many, batch)
+        return list(
+            await asyncio.gather(
+                *(asyncio.wrap_future(handle.future) for handle in handles)
+            )
+        )
+
+    async def stream(self, config: RunConfig | None = None,
+                     chunk: int | None = None):
+        """Async iterator of :class:`RunChunk` results for one run job."""
+        handle = await self._submit("run", config, stream=True, chunk=chunk)
+        while True:
+            item = await asyncio.to_thread(handle.next_chunk)
+            if item is None:
+                break
+            yield item

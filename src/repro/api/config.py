@@ -4,8 +4,10 @@
 reproduction run: which workload to trace (``workload``), how the
 ProSparsity engine executes it (``engine``), how the accelerator
 simulator is configured (``simulator``), how tiles are sampled
-(``sampling``), plus the design-sweep grid (``sweep``) and the
-Sec. VII-G trade-off input (``tradeoff``). Every section is a frozen
+(``sampling``), plus the design-sweep grid (``sweep``), the
+Sec. VII-G trade-off input (``tradeoff``), and the concurrent-serving
+knobs (``scheduler``: queue depth, coalescing window, stream
+chunking). Every section is a frozen
 dataclass, validated eagerly on construction with the same error wording
 the execution layers raise (e.g. ``workers`` on a backend that cannot
 take it reuses :func:`repro.engine.backends.backend_option_error`).
@@ -61,6 +63,7 @@ __all__ = [
     "EngineConfig",
     "RunConfig",
     "SamplingConfig",
+    "SchedulerConfig",
     "SimulatorConfig",
     "SweepConfig",
     "TradeoffConfig",
@@ -127,6 +130,24 @@ class TradeoffConfig:
     sparsity_increase: float = 0.1335
 
 
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Concurrent serving: queue depth, coalescing window, stream chunking.
+
+    ``max_inflight`` bounds how many jobs may sit in the scheduler's
+    queue at once (further ``submit()`` calls block until space frees).
+    ``coalesce_window_ms`` is how long the dispatcher waits after the
+    first queued job for more compatible jobs to arrive — every queued
+    job is drained at the end of each window, so no job ever waits more
+    than one window before dispatch. ``stream_chunk`` is how many
+    completed workloads a streaming run groups into one yielded chunk.
+    """
+
+    max_inflight: int = 32
+    coalesce_window_ms: float = 2.0
+    stream_chunk: int = 1
+
+
 _SECTIONS: dict[str, type] = {
     "workload": WorkloadConfig,
     "engine": EngineConfig,
@@ -134,6 +155,7 @@ _SECTIONS: dict[str, type] = {
     "sampling": SamplingConfig,
     "sweep": SweepConfig,
     "tradeoff": TradeoffConfig,
+    "scheduler": SchedulerConfig,
 }
 
 
@@ -212,6 +234,7 @@ class RunConfig:
     sampling: SamplingConfig = field(default_factory=SamplingConfig)
     sweep: SweepConfig = field(default_factory=SweepConfig)
     tradeoff: TradeoffConfig = field(default_factory=TradeoffConfig)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -266,6 +289,19 @@ class RunConfig:
             raise ValueError(
                 "sparsity_increase must be >= 0, got "
                 f"{self.tradeoff.sparsity_increase}"
+            )
+        if self.scheduler.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {self.scheduler.max_inflight}"
+            )
+        if self.scheduler.coalesce_window_ms < 0:
+            raise ValueError(
+                "coalesce_window_ms must be >= 0, got "
+                f"{self.scheduler.coalesce_window_ms}"
+            )
+        if self.scheduler.stream_chunk < 1:
+            raise ValueError(
+                f"stream_chunk must be >= 1, got {self.scheduler.stream_chunk}"
             )
 
     # -- dict / file round-trip ----------------------------------------

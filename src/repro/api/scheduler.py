@@ -1,0 +1,693 @@
+"""Concurrent serving scheduler: cross-request micro-batching.
+
+PR 4 left :meth:`Session.submit` as a one-worker queue seam; this module
+widens it into a serving API. A :class:`Scheduler` accepts many
+concurrent typed job submissions (:class:`Job` in, :class:`JobHandle`
+out), groups compatible engine jobs by their engine signature —
+``(backend, workers, tile shape, plan, cache size)`` — and coalesces
+each group into **one** :class:`~repro.engine.planner.TracePlanner`
+bucket batch: every client's tiles land in the same shape buckets, one
+global content dedup runs per bucket across *all* requests, and one
+fused kernel launch per bucket serves the whole group. This is the
+paper-faithful way to scale throughput: Prosperity's product-sparsity
+reuse gets strictly stronger as more concurrent work shares a dedup
+scope, so serving N clients together costs far less than N serial runs.
+
+Mechanics:
+
+* **Coalescing window + fairness.** Jobs queue under a condition
+  variable; the dispatcher waits ``coalesce_window_ms`` after the first
+  arrival for more work to pile in, then drains *every* queued job —
+  so no job ever waits more than one window before dispatch, no matter
+  how busy the queue is.
+* **Bounded queue depth.** At most ``max_inflight`` jobs may be queued;
+  further ``submit()`` calls block until space frees (the serving
+  backpressure seam).
+* **Per-job scatter-back.** The planner already scatters records per
+  workload; the scheduler slices those per job and builds each job its
+  own :class:`~repro.engine.EngineReport` — records are bit-identical
+  to running that job alone, for every backend and worker count,
+  because bucket composition cannot change per-tile records (pinned by
+  the planner's equivalence tests). Batch-scoped numbers (profile,
+  cache traffic, ``planned_tiles``/``unique_tiles``) are attached to
+  every report of the batch.
+* **Shared resources.** One engine (forest cache, arena, and — for
+  ``sharded`` — process pool) per engine signature, reused across every
+  coalesced batch and every :class:`~repro.api.Session` the scheduler
+  spawns for non-engine jobs. ``pools_spawned`` stays at one per
+  signature no matter how many jobs run.
+* **Cancellation + streaming.** Queued jobs can be cancelled until the
+  dispatcher claims them; streaming jobs receive
+  :class:`~repro.api.session.RunChunk` objects as the planner completes
+  each workload (the ``on_workload`` seam), instead of one blocking
+  final result.
+
+:class:`~repro.api.aio.AsyncSession` wraps this scheduler for
+``asyncio`` callers; ``repro batch`` drives it from the CLI.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+from repro.api.config import RunConfig
+from repro.api.session import EngineRunResult, RunChunk, RunResult, Session
+from repro.engine import EngineReport, ProsperityEngine, WorkloadRun
+from repro.engine.pipeline import stats_from_records
+from repro.engine.planner import PLANNED_PROFILE_STAGES
+from repro.workloads import get_trace
+
+__all__ = [
+    "JOB_KINDS",
+    "Job",
+    "JobHandle",
+    "Scheduler",
+]
+
+#: Experiment kinds a scheduler accepts — the Session methods by name.
+JOB_KINDS = Session._QUEUEABLE
+
+#: Stream sentinel: pushed after a job's last chunk (or on cancellation).
+_DONE = object()
+
+
+def _engine_key(config: RunConfig) -> tuple:
+    """Engine-compatibility signature: jobs sharing it share one engine
+    (cache, arena, sharded pool) and may coalesce into one batch."""
+    engine = config.engine
+    return (
+        engine.backend,
+        engine.workers,
+        engine.tile_m,
+        engine.tile_k,
+        engine.plan,
+        engine.cache_size,
+    )
+
+
+@dataclass(frozen=True)
+class Job:
+    """One typed job submission: an experiment kind plus its config.
+
+    ``config=None`` runs under the scheduler's default config; a per-job
+    :class:`RunConfig` overrides everything (workload, engine, sampling)
+    for that job alone. ``label`` is free-form client metadata echoed on
+    the handle (the CLI uses it for config file names).
+    """
+
+    kind: str = "run"
+    config: RunConfig | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown experiment {self.kind!r}; expected one of {JOB_KINDS}"
+            )
+
+    @classmethod
+    def of(cls, value: "Job | RunConfig | str") -> "Job":
+        """Coerce a kind name, a config (run job), or a Job to a Job."""
+        if isinstance(value, Job):
+            return value
+        if isinstance(value, RunConfig):
+            return cls(config=value)
+        if isinstance(value, str):
+            return cls(kind=value)
+        raise TypeError(
+            f"expected Job, RunConfig, or experiment name, got {type(value).__name__}"
+        )
+
+
+class JobHandle:
+    """Ticket for one scheduled job: a Future plus an optional stream.
+
+    ``future`` resolves to the same :class:`~repro.api.session.RunResult`
+    subclass the direct ``Session`` call returns. While the job is still
+    queued, :meth:`cancel` withdraws it; once the dispatcher claims it,
+    cancellation fails (process-pool kernels are not interruptible).
+    Streaming run jobs additionally deliver
+    :class:`~repro.api.session.RunChunk` objects through
+    :meth:`chunks` / :meth:`next_chunk` as workloads complete.
+    """
+
+    def __init__(self, job: Job, job_id: int, config: RunConfig,
+                 stream_chunk: int | None = None):
+        self.job = job
+        self.id = job_id
+        self.config = config  # effective config (job override or default)
+        self.future: Future = Future()
+        self.stream_chunk = stream_chunk
+        self._chunks: queue.SimpleQueue | None = (
+            queue.SimpleQueue() if stream_chunk is not None else None
+        )
+        self._stream_closed = False
+        self._stream_lock = threading.Lock()
+        self._exhausted = False
+
+    # -- future facade --------------------------------------------------
+    @property
+    def streaming(self) -> bool:
+        return self._chunks is not None
+
+    def result(self, timeout: float | None = None) -> RunResult:
+        return self.future.result(timeout)
+
+    def exception(self, timeout: float | None = None):
+        return self.future.exception(timeout)
+
+    def done(self) -> bool:
+        return self.future.done()
+
+    def cancelled(self) -> bool:
+        return self.future.cancelled()
+
+    def cancel(self) -> bool:
+        """Withdraw the job if it has not started; True on success."""
+        ok = self.future.cancel()
+        if ok:
+            self._finish_stream()
+        return ok
+
+    # -- streaming ------------------------------------------------------
+    def _push_chunk(self, chunk: RunChunk) -> None:
+        if self._chunks is not None:
+            self._chunks.put(chunk)
+
+    def _finish_stream(self) -> None:
+        """Terminate the chunk stream exactly once (idempotent)."""
+        if self._chunks is None:
+            return
+        with self._stream_lock:
+            if self._stream_closed:
+                return
+            self._stream_closed = True
+        self._chunks.put(_DONE)
+
+    def next_chunk(self, timeout: float | None = None) -> RunChunk | None:
+        """Block for the next chunk; ``None`` once the stream is done.
+
+        Raises the job's exception (or ``CancelledError``) after the
+        stream terminates abnormally, and ``queue.Empty`` on timeout.
+        """
+        if self._chunks is None:
+            raise RuntimeError("job was not submitted with stream=True")
+        if self._exhausted:
+            return None
+        item = self._chunks.get(timeout=timeout)
+        if item is _DONE:
+            self._exhausted = True
+            if self.future.done():
+                self.future.result()  # propagate error / cancellation
+            return None
+        return item
+
+    def chunks(self):
+        """Iterate the job's stream until the final chunk."""
+        while (chunk := self.next_chunk()) is not None:
+            yield chunk
+
+
+class _ChunkAssembler:
+    """Groups completed workloads into RunChunk objects for one stream."""
+
+    def __init__(self, handle: JobHandle, started: float):
+        self.handle = handle
+        self.size = max(1, handle.stream_chunk or 1)
+        self.started = started
+        self.buffer: list[WorkloadRun] = []
+        self.index = 0
+
+    def add(self, run: WorkloadRun) -> None:
+        self.buffer.append(run)
+        if len(self.buffer) >= self.size:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self.buffer:
+            return
+        chunk = RunChunk(
+            config=self.handle.config,
+            seconds=time.perf_counter() - self.started,
+            index=self.index,
+            runs=self.buffer,
+        )
+        self.buffer = []
+        self.index += 1
+        self.handle._push_chunk(chunk)
+
+
+class Scheduler:
+    """Cross-request micro-batching scheduler over shared engines.
+
+    Parameters
+    ----------
+    config:
+        Default :class:`RunConfig` for jobs submitted without one; its
+        ``[scheduler]`` section supplies ``max_inflight`` /
+        ``coalesce_window_ms`` / ``stream_chunk`` unless overridden by
+        the keyword arguments.
+    max_inflight:
+        Queue-depth bound; ``submit()`` blocks while the queue is full.
+    coalesce_window_ms:
+        How long the dispatcher lets compatible jobs pile up after the
+        first arrival before dispatching everything queued. ``0``
+        dispatches immediately (no cross-request batching unless jobs
+        were enqueued together via :meth:`submit_many`).
+
+    One dispatcher thread executes all work, so every engine (and any
+    sharded process pool) is driven from a single thread — the safe
+    default for process-pool backends. Execution resources live as long
+    as the scheduler: one engine per distinct engine signature, one
+    :class:`~repro.api.Session` per distinct job config (sharing that
+    engine), all released by :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        config: RunConfig | None = None,
+        *,
+        max_inflight: int | None = None,
+        coalesce_window_ms: float | None = None,
+    ):
+        self.config = config if config is not None else RunConfig()
+        sched_cfg = self.config.scheduler
+        self.max_inflight = (
+            sched_cfg.max_inflight if max_inflight is None else int(max_inflight)
+        )
+        window = (
+            sched_cfg.coalesce_window_ms
+            if coalesce_window_ms is None
+            else coalesce_window_ms
+        )
+        if self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if window < 0:
+            raise ValueError(f"coalesce_window_ms must be >= 0, got {window}")
+        self._window_seconds = window / 1000.0
+        self._cv = threading.Condition()
+        self._pending: deque[JobHandle] = deque()
+        self._thread: threading.Thread | None = None
+        self._closing = False
+        self._closed = False
+        self._ids = itertools.count(1)
+        self._engines: dict[tuple, ProsperityEngine] = {}
+        self._adopted: set[tuple] = set()  # engine keys the scheduler must not close
+        self._sessions: dict[RunConfig, Session] = {}
+        #: Serving statistics (informational; updated by the dispatcher).
+        self.jobs_submitted = 0
+        self.jobs_coalesced = 0  # jobs that ran inside a >1-job batch
+        self.batches = 0  # coalesced planner batches executed
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting jobs, then release engines and sessions.
+
+        ``wait=True`` (the default) drains the queue first — every
+        already-submitted job completes against live resources.
+        ``wait=False`` cancels whatever is still queued. Idempotent.
+        """
+        with self._cv:
+            if self._closed:
+                return
+            self._closing = True
+            if not wait:
+                while self._pending:
+                    self._pending.popleft().cancel()
+            self._cv.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join()
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+        # Sessions first (they never close the shared engines), then the
+        # engines the scheduler constructed; adopted engines stay open
+        # for their owners.
+        for session in self._sessions.values():
+            session.close()
+        self._sessions.clear()
+        for key, engine in self._engines.items():
+            if key not in self._adopted:
+                engine.close()
+        self._engines.clear()
+
+    @property
+    def pools_spawned(self) -> int:
+        """Total process pools spawned across all scheduler engines."""
+        return sum(
+            getattr(engine.backend, "pools_spawned", 0)
+            for engine in self._engines.values()
+        )
+
+    def adopt_engine(self, config: RunConfig, engine: ProsperityEngine) -> None:
+        """Share an externally-owned engine for ``config``'s signature.
+
+        Jobs whose engine signature matches then run through ``engine``
+        (its cache, arena, and pool) instead of a scheduler-constructed
+        one; :meth:`close` leaves it open for its owner. ``Session``
+        uses this so ``session.submit()`` reuses the session's engine.
+        """
+        key = _engine_key(config)
+        with self._cv:
+            existing = self._engines.get(key)
+            if existing is not None and existing is not engine:
+                raise RuntimeError(
+                    "an engine is already registered for this signature"
+                )
+            self._engines[key] = engine
+            self._adopted.add(key)
+
+    # -- submission -----------------------------------------------------
+    def submit(
+        self,
+        job: Job | RunConfig | str = "run",
+        config: RunConfig | None = None,
+        *,
+        stream: bool = False,
+        chunk: int | None = None,
+    ) -> JobHandle:
+        """Queue one job; blocks while ``max_inflight`` jobs are queued.
+
+        ``job`` is a :class:`Job`, a kind name (``config`` then supplies
+        the per-job override), or a bare :class:`RunConfig` (a run job).
+        ``stream=True`` (run jobs only) makes the handle yield
+        :class:`~repro.api.session.RunChunk` objects as workloads
+        complete; ``chunk`` overrides the config's
+        ``scheduler.stream_chunk`` grouping.
+        """
+        if isinstance(job, str):
+            job = Job(kind=job, config=config)
+        else:
+            job = Job.of(job)
+            if config is not None:
+                raise ValueError(
+                    "pass the config inside the Job (or use submit(kind, config))"
+                )
+        if stream and job.kind != "run":
+            raise ValueError(f"streaming is only supported for 'run' jobs, got {job.kind!r}")
+        return self._enqueue([self._handle_for(job, stream, chunk)])[0]
+
+    def submit_many(self, jobs) -> list[JobHandle]:
+        """Atomically queue several jobs — they dispatch as one batch.
+
+        All handles enter the queue under one lock acquisition, so the
+        dispatcher's next drain sees them together even with a zero
+        coalescing window (the CLI ``repro batch`` path).
+        """
+        handles = [self._handle_for(Job.of(job), False, None) for job in jobs]
+        return self._enqueue(handles)
+
+    def gather(self, jobs) -> list[RunResult]:
+        """Submit many jobs together and wait for every result in order."""
+        return [handle.result() for handle in self.submit_many(jobs)]
+
+    def _handle_for(self, job: Job, stream: bool, chunk: int | None) -> JobHandle:
+        effective = job.config if job.config is not None else self.config
+        stream_chunk = None
+        if stream:
+            stream_chunk = chunk if chunk is not None else (
+                effective.scheduler.stream_chunk
+            )
+            if stream_chunk < 1:
+                raise ValueError(f"stream chunk must be >= 1, got {stream_chunk}")
+        return JobHandle(job, next(self._ids), effective, stream_chunk)
+
+    def _enqueue(self, handles: list[JobHandle]) -> list[JobHandle]:
+        with self._cv:
+            # Block for queue space: enough room for the whole batch, or
+            # an empty queue (so one oversized submit_many still fits).
+            while True:
+                if self._closing or self._closed:
+                    raise RuntimeError("scheduler is closed; no new submissions")
+                if (
+                    len(self._pending) + len(handles) <= self.max_inflight
+                    or not self._pending
+                ):
+                    break
+                self._cv.wait()
+            self._pending.extend(handles)
+            self.jobs_submitted += len(handles)
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._loop, name="repro-scheduler", daemon=True
+                )
+                self._thread.start()
+            self._cv.notify_all()
+        return handles
+
+    # -- dispatcher -----------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._pending and not self._closing:
+                    self._cv.wait()
+                if not self._pending:
+                    return  # closing, queue drained
+                if self._window_seconds and not self._closing:
+                    # Coalescing window: let concurrent clients pile in.
+                    # Everything queued is drained at the end, so no job
+                    # waits more than one window.
+                    deadline = time.monotonic() + self._window_seconds
+                    while not self._closing:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cv.wait(timeout=remaining)
+                batch = list(self._pending)
+                self._pending.clear()
+                self._cv.notify_all()  # wake submitters blocked on depth
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: list[JobHandle]) -> None:
+        claimed: list[JobHandle] = []
+        for handle in batch:
+            if handle.future.set_running_or_notify_cancel():
+                claimed.append(handle)
+            else:
+                handle._finish_stream()  # cancelled while queued
+        # Group compatible engine jobs (first-appearance order); every
+        # other kind executes alone through its config's session.
+        units: list[tuple[str, object]] = []
+        groups: dict[tuple, list[JobHandle]] = {}
+        for handle in claimed:
+            if handle.job.kind == "run":
+                key = _engine_key(handle.config)
+                group = groups.get(key)
+                if group is None:
+                    groups[key] = group = []
+                    units.append(("group", group))
+                group.append(handle)
+            else:
+                units.append(("single", handle))
+        for kind, unit in units:
+            if kind == "single":
+                self._run_single(unit)
+            elif len(unit) == 1 and not unit[0].streaming:
+                self._run_single(unit[0])
+            else:
+                self._run_coalesced(unit)
+
+    # -- execution ------------------------------------------------------
+    def _engine_for(self, config: RunConfig) -> ProsperityEngine:
+        key = _engine_key(config)
+        with self._cv:
+            engine = self._engines.get(key)
+            if engine is None:
+                engine_cfg = config.engine
+                engine = ProsperityEngine(
+                    backend=engine_cfg.backend,
+                    tile_m=engine_cfg.tile_m,
+                    tile_k=engine_cfg.tile_k,
+                    cache_size=engine_cfg.cache_size,
+                    workers=engine_cfg.workers,
+                    plan=engine_cfg.plan,
+                )
+                self._engines[key] = engine
+            return engine
+
+    def _session_for(self, config: RunConfig) -> Session:
+        session = self._sessions.get(config)
+        if session is None:
+            session = Session(config, engine=self._engine_for(config))
+            self._sessions[config] = session
+        return session
+
+    def _run_single(self, handle: JobHandle) -> None:
+        """Execute one job exactly as its own Session call would."""
+        try:
+            session = self._session_for(handle.config)
+            result = getattr(session, handle.job.kind)()
+        except BaseException as exc:  # noqa: BLE001 - delivered via the future
+            handle.future.set_exception(exc)
+        else:
+            handle.future.set_result(result)
+        finally:
+            handle._finish_stream()
+
+    def _run_coalesced(self, handles: list[JobHandle]) -> None:
+        """One planner batch for a whole group of compatible run jobs.
+
+        Every job's workloads enter one trace plan: shared shape
+        buckets, one global content dedup, one kernel launch per bucket
+        through the (possibly sharded) backend, then per-job
+        scatter-back into individual :class:`EngineReport` objects.
+        Batch-scoped numbers (profile, cache traffic, planned/unique
+        tile counts) are attached to every job's report.
+        """
+        # Per-job isolation: a job whose trace cannot even be built fails
+        # alone; the rest of the group still coalesces and runs.
+        jobs = []
+        for handle in handles:
+            workload_cfg = handle.config.workload
+            try:
+                trace = get_trace(
+                    workload_cfg.model,
+                    workload_cfg.dataset,
+                    workload_cfg.preset,
+                    workload_cfg.seed,
+                )
+            except BaseException as exc:  # noqa: BLE001 - delivered via the future
+                handle.future.set_exception(exc)
+                handle._finish_stream()
+                continue
+            jobs.append((handle, trace, list(trace.workloads)))
+        if not jobs:
+            return
+        handles = [handle for handle, _, _ in jobs]
+        try:
+            engine = self._engine_for(handles[0].config)
+            owners: list[tuple[int, int]] = []  # global index -> (job, local)
+            for position, (_, _, workloads) in enumerate(jobs):
+                owners.extend((position, local) for local in range(len(workloads)))
+            sources = [w.spikes for _, _, workloads in jobs for w in workloads]
+
+            cache = engine.cache
+            hits0 = cache.hits if cache else 0
+            misses0 = cache.misses if cache else 0
+            profile0 = dict(getattr(engine.backend, "profile", None) or {})
+            profile = {stage: 0.0 for stage in PLANNED_PROFILE_STAGES}
+            started = time.perf_counter()
+            assemblers = [
+                _ChunkAssembler(handle, started) if handle.streaming else None
+                for handle, _, _ in jobs
+            ]
+
+            def on_workload(index: int, records) -> None:
+                position, local = owners[index]
+                assembler = assemblers[position]
+                if assembler is None:
+                    return
+                workload = jobs[position][2][local]
+                # Copy: the callback payload is a view of the batch-wide
+                # records array; a chunk a client retains must not pin
+                # every other client's records in memory.
+                records = records.copy()
+                assembler.add(
+                    WorkloadRun(
+                        name=workload.name,
+                        kind=workload.kind,
+                        tiles=len(records),
+                        records=records,
+                        stats=stats_from_records(records),
+                        seconds=0.0,  # per-chunk kernel time is not attributed
+                    )
+                )
+
+            streaming = any(assembler is not None for assembler in assemblers)
+            with engine.planner.exclusive():
+                plan = engine.planner.plan(
+                    sources, engine.tile_m, engine.tile_k, profile=profile
+                )
+                per_workload = engine.planner.execute(
+                    plan,
+                    engine.backend,
+                    cache=cache,
+                    profile=profile,
+                    on_workload=on_workload if streaming else None,
+                )
+            elapsed = time.perf_counter() - started
+            backend_profile = getattr(engine.backend, "profile", None)
+            if backend_profile:
+                for stage, seconds in backend_profile.items():
+                    profile[stage] = (
+                        profile.get(stage, 0.0) + seconds - profile0.get(stage, 0.0)
+                    )
+            cache_hits = (cache.hits - hits0) if cache else 0
+            cache_misses = (cache.misses - misses0) if cache else 0
+            total = plan.total_tiles
+            # Book the batch before delivering results: a client that
+            # wakes on its future must already see the serving counters.
+            self.batches += 1
+            if len(jobs) > 1:
+                self.jobs_coalesced += len(jobs)
+
+            offset = 0
+            for position, (handle, trace, workloads) in enumerate(jobs):
+                job_records = per_workload[offset : offset + len(workloads)]
+                offset += len(workloads)
+                report = EngineReport(
+                    backend=engine.backend.name,
+                    tile_m=engine.tile_m,
+                    tile_k=engine.tile_k,
+                    batch=handle.config.engine.batch,
+                    model=trace.model,
+                    dataset=trace.dataset,
+                    workers=getattr(engine.backend, "workers", None),
+                    plan="trace",  # coalesced batches are always trace-planned
+                    planned_tiles=plan.total_tiles,
+                    unique_tiles=plan.unique_tiles,
+                    cache_hits=cache_hits,
+                    cache_misses=cache_misses,
+                    profile=dict(profile),
+                )
+                job_tiles = 0
+                for workload, records in zip(workloads, job_records):
+                    job_tiles += len(records)
+                    # Copy out of the batch-wide records array: one
+                    # client's retained result must only hold its own
+                    # records, not the whole coalesced batch.
+                    records = records.copy()
+                    report.runs.append(
+                        WorkloadRun(
+                            name=workload.name,
+                            kind=workload.kind,
+                            tiles=len(records),
+                            records=records,
+                            stats=stats_from_records(records),
+                            seconds=elapsed * (len(records) / total) if total else 0.0,
+                        )
+                    )
+                verified = None
+                if handle.config.engine.verify:
+                    verified = engine.verify_trace(trace)
+                assembler = assemblers[position]
+                if assembler is not None:
+                    assembler.flush()
+                handle.future.set_result(
+                    EngineRunResult(
+                        config=handle.config,
+                        seconds=elapsed * (job_tiles / total) if total else 0.0,
+                        report=report,
+                        verified=verified,
+                    )
+                )
+                handle._finish_stream()
+        except BaseException as exc:  # noqa: BLE001 - delivered via the futures
+            for handle in handles:
+                if not handle.future.done():
+                    handle.future.set_exception(exc)
+                handle._finish_stream()

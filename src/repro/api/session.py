@@ -14,10 +14,15 @@ the config that produced them, the wall-clock, and the layer reports
 (:class:`~repro.engine.EngineReport`, :class:`~repro.arch.SimReport`,
 sweep points, density report) — no parsing of printed tables.
 
-For concurrent callers, :meth:`submit` is a queue seam: work is
-serialized through one worker thread against the shared engine and
-returned as a :class:`concurrent.futures.Future`. A later async backend
-can widen this seam without changing the calling convention.
+For concurrent callers, :meth:`submit` is a queue seam: jobs are routed
+through a session-owned :class:`~repro.api.scheduler.Scheduler` (which
+serializes execution against the shared engine and coalesces compatible
+work) and returned as :class:`concurrent.futures.Future` objects — the
+same Future-based contract the original single-worker queue exposed.
+:meth:`stream` yields per-workload :class:`RunChunk` results as the
+trace planner's buckets complete instead of one blocking final result,
+and :class:`~repro.api.aio.AsyncSession` wraps the same scheduler for
+``asyncio`` callers.
 
 Quickstart::
 
@@ -35,9 +40,10 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
@@ -50,13 +56,21 @@ from repro.arch.report import SimReport
 from repro.arch.scaling import ScalingPoint, scaling_study
 from repro.arch.simulator import ProsperitySimulator
 from repro.baselines import BASELINES
-from repro.engine import Backend, EngineReport, ProsperityEngine, get_backend
+from repro.core.prosparsity import ProSparsityStats
+from repro.engine import (
+    Backend,
+    EngineReport,
+    ProsperityEngine,
+    WorkloadRun,
+    get_backend,
+)
 from repro.snn.trace import ModelTrace
 from repro.workloads import get_trace
 
 __all__ = [
     "DensityResult",
     "EngineRunResult",
+    "RunChunk",
     "RunResult",
     "ScalingResult",
     "Session",
@@ -89,6 +103,37 @@ class EngineRunResult(RunResult):
     @property
     def profile(self) -> dict[str, float]:
         return dict(self.report.profile)
+
+
+@dataclass(frozen=True)
+class RunChunk(RunResult):
+    """One streamed slice of an engine run: workloads completed so far.
+
+    :meth:`Session.stream` (and streaming scheduler jobs) yield these as
+    the trace planner's shape buckets finish: each chunk carries the
+    workloads whose final tiles were just scattered, in completion
+    order. ``seconds`` is the wall-clock since the run started when the
+    chunk was emitted; per-workload kernel time is not attributed to
+    chunks (the final :class:`EngineRunResult` carries the full report).
+    """
+
+    index: int = 0
+    runs: list[WorkloadRun] = field(default_factory=list)
+
+    @property
+    def tiles(self) -> int:
+        return sum(run.tiles for run in self.runs)
+
+    @property
+    def workloads(self) -> tuple[str, ...]:
+        return tuple(run.name for run in self.runs)
+
+    @property
+    def stats(self) -> ProSparsityStats:
+        merged = ProSparsityStats()
+        for run in self.runs:
+            merged.merge(run.stats)
+        return merged
 
 
 @dataclass(frozen=True)
@@ -142,6 +187,14 @@ class Session:
     ----------
     config:
         The run configuration; ``None`` uses :class:`RunConfig` defaults.
+    engine:
+        An already-constructed :class:`~repro.engine.ProsperityEngine` to
+        share instead of building one from ``config`` — the serving
+        scheduler uses this so many sessions (one per client config) run
+        through one engine, one cache, and one sharded pool. A shared
+        engine must match the config's engine section (backend name,
+        tile shape, plan mode, and — when the config pins one — worker
+        count); the session never closes it.
 
     The backend and engine are constructed lazily on first use and shared
     by every call — ``Session`` is the pool-hygiene boundary: one
@@ -152,11 +205,42 @@ class Session:
 
     _QUEUEABLE = ("run", "simulate", "sweep", "density", "scaling", "tradeoff")
 
-    def __init__(self, config: RunConfig | None = None):
+    def __init__(
+        self,
+        config: RunConfig | None = None,
+        *,
+        engine: ProsperityEngine | None = None,
+    ):
         self.config = config if config is not None else RunConfig()
-        self._backend: Backend | None = None
-        self._engine: ProsperityEngine | None = None
-        self._executor: ThreadPoolExecutor | None = None
+        self._owns_engine = engine is None
+        if engine is not None:
+            engine_cfg = self.config.engine
+            engine_workers = getattr(engine.backend, "workers", None)
+            mismatched = (
+                engine.backend.name != engine_cfg.backend
+                or engine.tile_m != engine_cfg.tile_m
+                or engine.tile_k != engine_cfg.tile_k
+                or engine.plan != engine_cfg.plan
+                # workers=None in the config means "backend default":
+                # any pool size is acceptable there.
+                or (
+                    engine_cfg.workers is not None
+                    and engine_workers != engine_cfg.workers
+                )
+            )
+            if mismatched:
+                raise ValueError(
+                    "shared engine does not match the session config: engine "
+                    f"is backend={engine.backend.name!r} tile="
+                    f"({engine.tile_m}, {engine.tile_k}) plan={engine.plan!r} "
+                    f"workers={engine_workers}, config wants "
+                    f"backend={engine_cfg.backend!r} tile="
+                    f"({engine_cfg.tile_m}, {engine_cfg.tile_k}) "
+                    f"plan={engine_cfg.plan!r} workers={engine_cfg.workers}"
+                )
+        self._backend: Backend | None = engine.backend if engine else None
+        self._engine: ProsperityEngine | None = engine
+        self._scheduler = None  # session-owned Scheduler, created on demand
         self._lock = threading.RLock()
         self._closed = False
         self._draining = False
@@ -198,11 +282,13 @@ class Session:
             return self._engine
 
     def close(self) -> None:
-        """Drain the submit queue, then release engine and backend.
+        """Drain the scheduler queue, then release engine and backend.
 
-        Idempotent; the engine only releases its arena here (it did not
-        construct the backend), so the backend — and any sharded pool —
-        is closed exactly once, by the session that owns it.
+        Fully idempotent — a double (or concurrent) close is a no-op.
+        Queued :meth:`submit` / :meth:`stream` jobs finish against a
+        still-open session before resources go away; a shared (injected)
+        engine is left open for its other users, so the backend — and
+        any sharded pool — is closed exactly once, by its owner.
         """
         with self._lock:
             if self._closed or self._draining:
@@ -210,16 +296,18 @@ class Session:
             # Refuse new submissions, but let already-queued work finish
             # against a still-open session before resources go away.
             self._draining = True
-            executor, self._executor = self._executor, None
-        if executor is not None:
-            executor.shutdown(wait=True)
+            scheduler, self._scheduler = self._scheduler, None
+        if scheduler is not None:
+            scheduler.close(wait=True)
         with self._lock:
             self._closed = True
             if self._engine is not None:
-                self._engine.close()
+                if self._owns_engine:
+                    self._engine.close()
                 self._engine = None
             if self._backend is not None:
-                self._backend.close()
+                if self._owns_engine:
+                    self._backend.close()
                 self._backend = None
 
     def __enter__(self) -> "Session":
@@ -363,27 +451,57 @@ class Session:
             )
 
     # -- concurrency seam -----------------------------------------------
+    @property
+    def scheduler(self):
+        """The session-owned :class:`~repro.api.scheduler.Scheduler`.
+
+        Created on first use and seeded with this session's engine, so
+        scheduled jobs share the session's cache, arena, and (for
+        ``sharded``) process pool. Closed — after draining — by
+        :meth:`close`.
+        """
+        from repro.api.scheduler import Scheduler
+
+        with self._lock:
+            self._check_open()
+            if self._draining:
+                raise RuntimeError("session is closing; no new submissions")
+            if self._scheduler is None:
+                scheduler = Scheduler(self.config)
+                scheduler.adopt_engine(self.config, self.engine)
+                self._scheduler = scheduler
+            return self._scheduler
+
     def submit(self, kind: str) -> Future:
         """Queue an experiment for asynchronous execution.
 
         ``kind`` names any experiment method (``"run"``, ``"simulate"``,
         ``"sweep"``, ``"density"``, ``"scaling"``, ``"tradeoff"``).
-        Submissions from any thread are serialized through one worker
-        against the shared engine — the safe default for process-pool
-        backends — and resolve to the same :class:`RunResult` objects the
-        direct calls return. A future async backend can widen this seam
-        (more workers, overlapped kernels) without changing callers.
+        Submissions from any thread are routed through the session's
+        :class:`~repro.api.scheduler.Scheduler`, which serializes
+        execution against the shared engine — the safe default for
+        process-pool backends — and coalesces compatible engine jobs
+        into one planner batch. The returned
+        :class:`concurrent.futures.Future` resolves to the same
+        :class:`RunResult` objects the direct calls return.
         """
         if kind not in self._QUEUEABLE:
             raise ValueError(
                 f"unknown experiment {kind!r}; expected one of {self._QUEUEABLE}"
             )
-        with self._lock:
-            self._check_open()
-            if self._draining:
-                raise RuntimeError("session is closing; no new submissions")
-            if self._executor is None:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=1, thread_name_prefix="repro-session"
-                )
-            return self._executor.submit(getattr(self, kind))
+        return self.scheduler.submit(kind).future
+
+    def stream(self, chunk: int | None = None) -> Iterator[RunChunk]:
+        """Stream an engine run as per-workload chunks, then the result.
+
+        Instead of one blocking :meth:`run` result, yields a
+        :class:`RunChunk` every time ``chunk`` workloads complete
+        (default: ``scheduler.stream_chunk`` from the config) — the run
+        executes trace-planned, so workloads finish as the planner's
+        shape buckets complete, and records are bit-identical to
+        :meth:`run`. The generator's ``return`` value (i.e.
+        ``StopIteration.value``) is the final :class:`EngineRunResult`.
+        """
+        handle = self.scheduler.submit("run", stream=True, chunk=chunk)
+        yield from handle.chunks()
+        return handle.result()

@@ -21,6 +21,7 @@ Examples
     repro run      --model vgg16 --backend sharded --workers 4
     repro run      --config run.toml --set engine.plan=trace
     repro config dump --set workload.model=lenet5 > run.toml
+    repro batch    --config a.toml --config b.toml --set engine.backend=fused
     repro --version
 
 (Also runnable as ``python -m repro.cli`` when not installed.)
@@ -34,7 +35,7 @@ from importlib import metadata
 
 from repro.analysis.report import format_percent, format_ratio, format_table
 from repro.analysis.tradeoff import breakeven_sparsity_increase
-from repro.api import RunConfig, Session
+from repro.api import EngineRunResult, Job, RunConfig, Scheduler, Session
 from repro.engine import PLAN_MODES, available_backends
 from repro.workloads import PRESETS
 
@@ -254,6 +255,69 @@ def cmd_run(config: RunConfig, session: Session) -> str:
     return table + footer
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    """Run many job configs through one shared scheduler and pool.
+
+    Each ``--config`` file becomes one job (``--set`` overrides apply to
+    every job); compatible engine jobs coalesce into shared trace-planner
+    batches, so concurrent configs share one global dedup, one kernel
+    launch per shape bucket, and one process pool per engine signature.
+    """
+    configs = []
+    for path in args.configs:
+        try:
+            config = RunConfig.from_file(path)
+            if args.sets:
+                config = config.with_sets(args.sets)
+        except (ValueError, OSError) as exc:
+            raise SystemExit(f"repro: error: --config {path}: {exc}") from exc
+        configs.append((path, config))
+    jobs = [
+        Job(kind=args.kind, config=config, label=str(path))
+        for path, config in configs
+    ]
+    failures = []
+    rows = []
+    with Scheduler(configs[0][1]) as scheduler:
+        handles = scheduler.submit_many(jobs)
+        for handle in handles:
+            workload = handle.config.workload
+            row = [
+                handle.job.label,
+                handle.job.kind,
+                f"{workload.model}/{workload.dataset}",
+                handle.config.engine.backend,
+            ]
+            try:
+                result = handle.result()
+            except Exception as exc:
+                failures.append(f"{handle.job.label}: {exc}")
+                rows.append([*row, "FAILED", "-"])
+                continue
+            if isinstance(result, EngineRunResult):
+                summary = (
+                    f"{result.report.total_tiles} tiles, "
+                    f"{format_percent(result.report.stats.product_density)} pro dens"
+                )
+            else:
+                summary = type(result).__name__.removesuffix("Result").lower()
+            rows.append([*row, summary, f"{result.seconds * 1e3:.1f} ms"])
+        footer = (
+            f"\nscheduler: {scheduler.jobs_submitted} job(s) submitted, "
+            f"{scheduler.jobs_coalesced} coalesced across {scheduler.batches} "
+            f"planner batch(es); pools spawned: {scheduler.pools_spawned}"
+        )
+    table = format_table(
+        ["config", "kind", "workload", "backend", "result", "wall"],
+        rows,
+        title=f"batch — {len(jobs)} job(s) through one scheduler",
+    )
+    print(table + footer)
+    for failure in failures:
+        print(f"repro: batch job failed: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 COMMANDS = {
     "density": cmd_density,
     "simulate": cmd_simulate,
@@ -350,6 +414,24 @@ def build_parser() -> argparse.ArgumentParser:
                      "(config default: 4096)")
     run.add_argument("--verify", action="store_true", default=None,
                      help="re-run through the reference oracle and compare")
+    batch = subparsers.add_parser(
+        "batch", help="run many configs through one shared scheduler/pool"
+    )
+    batch.add_argument(
+        "--config", dest="configs", action="append", metavar="FILE",
+        required=True,
+        help="TOML or JSON RunConfig file; repeatable, one job per file — "
+        "compatible engine jobs coalesce into shared planner batches",
+    )
+    batch.add_argument(
+        "--set", dest="sets", action="append", metavar="SECTION.KEY=VALUE",
+        default=[],
+        help="config override applied to every job's config (repeatable)",
+    )
+    batch.add_argument(
+        "--kind", default="run", choices=Session._QUEUEABLE,
+        help="experiment to run for every config (default: run)",
+    )
     trade = subparsers.add_parser("tradeoff")
     _add_config_args(trade)
     trade.add_argument("--sparsity-increase", type=float, default=None,
@@ -369,6 +451,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "batch":
+        return cmd_batch(args)
     config = config_from_args(args)
     if args.command == "config":
         output = config.to_json() if args.json else config.to_toml()

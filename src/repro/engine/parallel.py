@@ -107,9 +107,19 @@ class ShardedBackend(FusedBackend):
             self._pool = None
 
     def __del__(self):  # best effort; explicit close() is preferred
+        # GC may run during interpreter shutdown, when the executor's
+        # management thread and queues are already half torn down and
+        # shutdown(wait=True) can raise or hang. Detach the pool first
+        # (so a failed shutdown is never retried), never wait, and
+        # swallow everything — a backend collected without close() must
+        # not print teardown noise.
         try:
-            self.close()
-        except Exception:
+            pool = getattr(self, "_pool", None)
+            if pool is None:
+                return
+            self._pool = None
+            pool.shutdown(wait=False, cancel_futures=True)
+        except BaseException:  # noqa: BLE001 - teardown must stay silent
             pass
 
     # -- kernel dispatch ------------------------------------------------

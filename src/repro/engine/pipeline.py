@@ -16,6 +16,7 @@ benchmark; it mirrors the :mod:`repro.core` transform contract exactly.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -91,6 +92,10 @@ class ForestCache:
         self.hits = 0
         self.misses = 0
         self._entries: OrderedDict[tuple, dict] = OrderedDict()
+        # Engines are shared across threads by the serving scheduler
+        # (a session's direct calls can overlap the dispatcher), so the
+        # LRU mutations and counters are guarded.
+        self._mutex = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -109,24 +114,26 @@ class ForestCache:
         return (m, k, digest)
 
     def _lookup(self, key: tuple, slot: str):
-        entry = self._entries.get(key)
-        value = entry.get(slot) if entry is not None else None
-        if value is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._mutex:
+            entry = self._entries.get(key)
+            value = entry.get(slot) if entry is not None else None
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def _store(self, key: tuple, slot: str, value) -> None:
-        entry = self._entries.get(key)
-        if entry is None:
-            entry = {}
-            self._entries[key] = entry
-        entry[slot] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = {}
+                self._entries[key] = entry
+            entry[slot] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     # -- records --------------------------------------------------------
     def get_record(self, m: int, k: int, packed: np.ndarray):
@@ -298,8 +305,11 @@ class ProsperityEngine:
     def close(self) -> None:
         """Release engine resources: arena slabs always, and the
         backend (e.g. the sharded worker pool) when this engine
-        constructed it from a name — shared instances stay open."""
-        self.planner.arena.clear()
+        constructed it from a name — shared instances stay open.
+        Idempotent, and safe against a concurrently executing plan
+        (the arena is only dropped once the planner is quiescent)."""
+        with self.planner.exclusive():
+            self.planner.arena.clear()
         if self._owns_backend:
             self.backend.close()
 
@@ -382,11 +392,14 @@ class ProsperityEngine:
         elif plan == "trace":
             # Planner path: sampled tiles and whole matrices land in the
             # same shape buckets, so sampling composes with the dedup.
+            # exclusive() keeps the plan's arena views valid against
+            # concurrent planner users (the serving scheduler).
             source = tiles if sampled else matrix
-            trace_plan = self.planner.plan([source], tile_m, tile_k)
-            record_array = self.planner.execute(
-                trace_plan, self.backend, cache=self.cache
-            )[0]
+            with self.planner.exclusive():
+                trace_plan = self.planner.plan([source], tile_m, tile_k)
+                record_array = self.planner.execute(
+                    trace_plan, self.backend, cache=self.cache
+                )[0]
         elif sampled:
             records = [self._tile_record_cached(tile) for tile in tiles]
             record_array = np.array(records, dtype=np.int64).reshape(
@@ -460,8 +473,11 @@ class ProsperityEngine:
             else:
                 sources.append(matrix)
                 fractions.append(1.0)
-        trace_plan = self.planner.plan(sources, tile_m, tile_k)
-        per_workload = self.planner.execute(trace_plan, self.backend, self.cache)
+        with self.planner.exclusive():
+            trace_plan = self.planner.plan(sources, tile_m, tile_k)
+            per_workload = self.planner.execute(
+                trace_plan, self.backend, self.cache
+            )
         results = []
         for records, fraction in zip(per_workload, fractions):
             result = ProSparsityResult()
@@ -620,15 +636,16 @@ class ProsperityEngine:
         """Trace path: one cross-workload plan, one kernel per bucket."""
         profile = {stage: 0.0 for stage in PLANNED_PROFILE_STAGES}
         start = time.perf_counter()
-        trace_plan = self.planner.plan(
-            [workload.spikes for workload in workloads],
-            self.tile_m,
-            self.tile_k,
-            profile=profile,
-        )
-        per_workload = self.planner.execute(
-            trace_plan, self.backend, cache=self.cache, profile=profile
-        )
+        with self.planner.exclusive():
+            trace_plan = self.planner.plan(
+                [workload.spikes for workload in workloads],
+                self.tile_m,
+                self.tile_k,
+                profile=profile,
+            )
+            per_workload = self.planner.execute(
+                trace_plan, self.backend, cache=self.cache, profile=profile
+            )
         # Per-workload stats are report assembly, not a pipeline stage:
         # they stay inside the timed window (so stage sums remain
         # bounded by wall-clock) but out of the profile breakdown.
@@ -716,26 +733,27 @@ class ProsperityEngine:
         output: np.ndarray,
     ) -> None:
         """Planner-bucketed GeMM: one forest per distinct tile content."""
-        trace_plan = self.planner.plan([spike_matrix], tile_m, tile_k)
         col_tiles = -(-spike_matrix.cols // tile_k)
-        partials: list[np.ndarray | None] = [None] * trace_plan.total_tiles
-        for bucket in trace_plan.buckets:
-            forests: dict[int, ProSparsityForest] = {}
-            for index in range(bucket.tiles):
-                unique = int(bucket.inverse[index])
-                forest = forests.get(unique)
-                if forest is None:
-                    tile = next(
-                        TracePlanner._tiles_from_raw(
-                            bucket, bucket.first[unique : unique + 1]
+        with self.planner.exclusive():
+            trace_plan = self.planner.plan([spike_matrix], tile_m, tile_k)
+            partials: list[np.ndarray | None] = [None] * trace_plan.total_tiles
+            for bucket in trace_plan.buckets:
+                forests: dict[int, ProSparsityForest] = {}
+                for index in range(bucket.tiles):
+                    unique = int(bucket.inverse[index])
+                    forest = forests.get(unique)
+                    if forest is None:
+                        tile = next(
+                            TracePlanner._tiles_from_raw(
+                                bucket, bucket.first[unique : unique + 1]
+                            )
                         )
-                    )
-                    forest = self._forest_for(tile)
-                    forests[unique] = forest
-                position = int(bucket.position[index])
-                col_start = (position % col_tiles) * tile_k
-                w_slice = weights[col_start : col_start + bucket.k]
-                partials[position] = self.backend.execute(forest, w_slice)
+                        forest = self._forest_for(tile)
+                        forests[unique] = forest
+                    position = int(bucket.position[index])
+                    col_start = (position % col_tiles) * tile_k
+                    w_slice = weights[col_start : col_start + bucket.k]
+                    partials[position] = self.backend.execute(forest, w_slice)
         # Accumulate in row-major tile order — the per-tile path's
         # float summation order, independent of bucket iteration.
         for position, partial in enumerate(partials):

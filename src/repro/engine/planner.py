@@ -43,7 +43,9 @@ their existing meaning.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import threading
 import time
 
 import numpy as np
@@ -219,6 +221,25 @@ class TracePlanner:
 
     def __init__(self, arena: BufferArena | None = None):
         self.arena = arena if arena is not None else BufferArena()
+        # Re-entrancy: a plan's bucket views live in the shared arena and
+        # are invalidated by the next plan(), so concurrent callers must
+        # serialize whole plan+execute pairs. The lock is re-entrant:
+        # plan()/execute() take it themselves, and callers that need the
+        # pair to be atomic wrap both in exclusive().
+        self._lock = threading.RLock()
+
+    @contextlib.contextmanager
+    def exclusive(self):
+        """Hold the planner exclusively for one plan+execute pair.
+
+        Arena-backed bucket arrays are only valid until the next
+        ``plan()`` call on this planner, so concurrent users (the
+        serving scheduler, parallel sessions sharing one engine) must
+        wrap each ``plan()``/``execute()`` pair in this context —
+        interleaved pairs then serialize instead of corrupting buffers.
+        """
+        with self._lock:
+            yield self
 
     # -- planning -------------------------------------------------------
     def plan(
@@ -238,6 +259,16 @@ class TracePlanner:
         per repeat; the shared chunks land in the buckets once per
         owner, so scatter-back stays exact.
         """
+        with self._lock:
+            return self._plan(sources, tile_m, tile_k, profile)
+
+    def _plan(
+        self,
+        sources: list,
+        tile_m: int,
+        tile_k: int,
+        profile: dict[str, float] | None = None,
+    ) -> TracePlan:
         parts: dict[tuple[int, int], list[tuple]] = {}
         tiles_per_workload: list[int] = []
         packed_matrices: dict[tuple, dict] = {}
@@ -342,6 +373,7 @@ class TracePlanner:
         backend,
         cache=None,
         profile: dict[str, float] | None = None,
+        on_workload=None,
     ) -> list[np.ndarray]:
         """Run one kernel per bucket and scatter records per workload.
 
@@ -350,8 +382,36 @@ class TracePlanner:
         bit-identical to running the backend per matrix. The returned
         arrays are freshly allocated (never arena-backed), so they stay
         valid across later plans.
+
+        ``on_workload``, when given, is called as ``on_workload(index,
+        records)`` the moment a workload's final tile is scattered —
+        workloads complete as their buckets finish, not at the end of
+        the whole plan, which is the streaming seam the serving API
+        builds result chunks on. The callback runs on the executing
+        thread; exceptions it raises abort the run.
         """
+        with self._lock:
+            return self._execute(plan, backend, cache, profile, on_workload)
+
+    def _execute(
+        self,
+        plan: TracePlan,
+        backend,
+        cache,
+        profile: dict[str, float] | None,
+        on_workload,
+    ) -> list[np.ndarray]:
         records = np.empty((plan.total_tiles, _NFIELDS), dtype=np.int64)
+        per_workload = [
+            records[start:end]
+            for start, end in zip(plan.offsets[:-1], plan.offsets[1:])
+        ]
+        remaining = np.asarray(plan.tiles_per_workload, dtype=np.int64).copy()
+        if on_workload is not None:
+            # Zero-tile workloads have nothing pending: complete them
+            # up front so streams never wait on an empty workload.
+            for index in np.flatnonzero(remaining == 0):
+                on_workload(int(index), per_workload[index])
         assigned = 0
         for bucket in plan.buckets:
             bucket_records = self._bucket_records(bucket, backend, cache, profile)
@@ -359,15 +419,17 @@ class TracePlanner:
             records[plan.offsets[bucket.owner] + bucket.position] = bucket_records
             assigned += len(bucket_records)
             _add_stage(profile, "scatter", time.perf_counter() - start)
+            if on_workload is not None:
+                counts = np.bincount(bucket.owner, minlength=len(remaining))
+                remaining -= counts
+                for index in np.flatnonzero((remaining == 0) & (counts > 0)):
+                    on_workload(int(index), per_workload[index])
         if assigned != plan.total_tiles:
             raise RuntimeError(
                 f"plan scatter mismatch: {assigned} records assigned, "
                 f"{plan.total_tiles} planned"
             )
-        return [
-            records[start:end]
-            for start, end in zip(plan.offsets[:-1], plan.offsets[1:])
-        ]
+        return per_workload
 
     def _bucket_records(
         self,

@@ -88,6 +88,24 @@ class TestValidation:
         with pytest.raises(ValueError, match="m_values"):
             RunConfig().with_overrides({"sweep.m_values": ()})
 
+    def test_scheduler_defaults(self):
+        sched = RunConfig().scheduler
+        assert sched.max_inflight >= 1
+        assert sched.coalesce_window_ms >= 0
+        assert sched.stream_chunk >= 1
+
+    def test_bad_max_inflight(self):
+        with pytest.raises(ValueError, match="max_inflight must be >= 1"):
+            RunConfig().with_overrides({"scheduler.max_inflight": 0})
+
+    def test_bad_coalesce_window(self):
+        with pytest.raises(ValueError, match="coalesce_window_ms must be >= 0"):
+            RunConfig().with_overrides({"scheduler.coalesce_window_ms": -1.0})
+
+    def test_bad_stream_chunk(self):
+        with pytest.raises(ValueError, match="stream_chunk must be >= 1"):
+            RunConfig().with_overrides({"scheduler.stream_chunk": 0})
+
     def test_negative_sparsity_increase(self):
         with pytest.raises(ValueError, match="sparsity_increase"):
             RunConfig().with_overrides({"tradeoff.sparsity_increase": -0.5})
@@ -167,6 +185,87 @@ class TestFileRoundTrip:
             RunConfig().to_file(tmp_path / "run.yaml")
         with pytest.raises(ValueError, match=".toml or .json"):
             RunConfig.from_file(tmp_path / "run.yaml")
+
+
+class TestTomlEmitterEdgeCases:
+    """Satellite contract: the hand-rolled TOML emitter survives strings
+    needing escaping/quotes, booleans, empty sections, and ``--set``
+    values containing ``=`` — and every round-trip stays idempotent."""
+
+    def _round_trip(self, cfg: RunConfig) -> RunConfig:
+        if tomllib is None:
+            pytest.skip("no TOML reader on this Python")
+        text = cfg.to_toml()
+        loaded = RunConfig.from_dict(tomllib.loads(text))
+        # Idempotent: emitting the parsed config reproduces the text.
+        assert loaded.to_toml() == text
+        return loaded
+
+    @pytest.mark.parametrize("model", [
+        'say "hi"',                 # double quotes
+        "back\\slash",              # backslash
+        "tab\there",                # control character
+        "newline\nhere",            # must escape, not break the line
+        "uniécode",            # non-ASCII passes through
+        "equals=inside",            # '=' in a value
+        "#not-a-comment",           # comment introducer in a value
+        "[not.a.section]",          # section introducer in a value
+    ])
+    def test_string_escaping_round_trips(self, model):
+        cfg = RunConfig().with_overrides({"workload.model": model})
+        assert self._round_trip(cfg).workload.model == model
+
+    def test_booleans_round_trip(self):
+        for verify in (True, False):
+            cfg = RunConfig().with_overrides({"engine.verify": verify})
+            assert "verify = true" in cfg.to_toml() or not verify
+            assert self._round_trip(cfg).engine.verify is verify
+
+    def test_empty_section_reads_as_defaults(self):
+        if tomllib is None:
+            pytest.skip("no TOML reader on this Python")
+        text = "[workload]\n\n[engine]\nbackend = \"fused\"\n"
+        loaded = RunConfig.from_dict(tomllib.loads(text))
+        assert loaded.workload == RunConfig().workload
+        assert loaded.engine.backend == "fused"
+
+    def test_empty_entries_emit_bare_header(self):
+        from repro.api.config import _toml_value
+
+        # The emitter writes a bare [section] header for an empty
+        # section; tomllib reads it back as an empty table.
+        assert _toml_value("x") == '"x"'
+        cfg = RunConfig()
+        headers = [
+            line for line in cfg.to_toml().splitlines()
+            if line.startswith("[")
+        ]
+        assert headers == [f"[{name}]" for name in cfg.to_dict()]
+
+    def test_set_value_containing_equals(self):
+        cfg = RunConfig().with_sets(["workload.model=resnet=18"])
+        assert cfg.workload.model == "resnet=18"
+        cfg = RunConfig().with_sets(["workload.dataset=a=b=c"])
+        assert cfg.workload.dataset == "a=b=c"
+        # ...and such a value still survives the file round-trip.
+        assert self._round_trip(cfg).workload.dataset == "a=b=c"
+
+    def test_unserializable_value_rejected(self):
+        from repro.api.config import _toml_value
+
+        with pytest.raises(TypeError, match="cannot serialize"):
+            _toml_value(object())
+
+    def test_float_and_int_round_trip(self):
+        cfg = RunConfig().with_overrides({
+            "tradeoff.sparsity_increase": 0.25,
+            "scheduler.coalesce_window_ms": 12.5,
+            "scheduler.max_inflight": 7,
+        })
+        loaded = self._round_trip(cfg)
+        assert loaded.tradeoff.sparsity_increase == 0.25
+        assert loaded.scheduler.coalesce_window_ms == 12.5
+        assert loaded.scheduler.max_inflight == 7
 
 
 class TestOverrides:

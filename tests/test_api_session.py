@@ -191,6 +191,121 @@ class TestPoolReuse:
             assert np.array_equal(a.records, b.records)
 
 
+class TestCloseIdempotency:
+    """Satellite contract: Session.close()/Backend.close() double-close
+    is a no-op — after real work, with pools, and interleaved."""
+
+    def test_session_double_close_after_run(self):
+        session = Session(lenet_config(**{"engine.backend": "fused"}))
+        session.run()
+        session.close()
+        session.close()
+        session.close()  # any number of closes is a no-op
+
+    def test_sharded_session_double_close_releases_pool_once(self):
+        cfg = lenet_config(**{"engine.backend": "sharded",
+                              "engine.workers": 2, "engine.plan": "trace"})
+        session = Session(cfg)
+        backend = session.backend
+        session.run()
+        session.close()
+        assert backend._pool is None
+        session.close()  # second close must not touch the dead backend
+        assert backend._pool is None
+
+    def test_backend_double_close(self):
+        from repro.engine import ShardedBackend, get_backend
+
+        backend = ShardedBackend(workers=2)
+        backend.close()
+        backend.close()
+        for name in ("reference", "vectorized", "fused"):
+            plain = get_backend(name)
+            plain.close()
+            plain.close()
+
+    def test_engine_double_close(self):
+        with Session(lenet_config()) as session:
+            engine = session.engine
+        engine.close()  # session.close() already closed it once
+
+    def test_context_manager_then_explicit_close(self):
+        with Session(lenet_config()) as session:
+            session.density()
+        session.close()  # after __exit__ already closed
+
+
+class TestSharedEngine:
+    def test_injected_engine_is_shared_not_owned(self):
+        cfg = lenet_config(**{"engine.backend": "fused"})
+        with Session(cfg) as owner:
+            engine = owner.engine
+            borrower = Session(cfg, engine=engine)
+            assert borrower.engine is engine
+            assert borrower.backend is engine.backend
+            result = borrower.run()
+            assert result.report.total_tiles > 0
+            borrower.close()
+            # The engine survived the borrower: the owner still runs.
+            assert owner.run().report.total_tiles > 0
+
+    def test_injected_engine_must_match_config(self):
+        cfg = lenet_config(**{"engine.backend": "fused"})
+        with Session(cfg) as owner:
+            mismatched = lenet_config(**{"engine.backend": "vectorized"})
+            with pytest.raises(ValueError, match="does not match"):
+                Session(mismatched, engine=owner.engine)
+            # Plan mode is part of the contract too: a matrix-planned
+            # engine cannot serve a trace-planned config.
+            planned = lenet_config(**{"engine.backend": "fused",
+                                      "engine.plan": "trace"})
+            with pytest.raises(ValueError, match="does not match"):
+                Session(planned, engine=owner.engine)
+
+    def test_injected_engine_worker_count_checked_when_pinned(self):
+        cfg = lenet_config(**{"engine.backend": "sharded",
+                              "engine.workers": 2})
+        with Session(cfg) as owner:
+            pinned = lenet_config(**{"engine.backend": "sharded",
+                                     "engine.workers": 4})
+            with pytest.raises(ValueError, match="does not match"):
+                Session(pinned, engine=owner.engine)
+            # workers=None means "backend default": any pool size is fine.
+            unpinned = lenet_config(**{"engine.backend": "sharded"})
+            borrower = Session(unpinned, engine=owner.engine)
+            borrower.close()
+
+
+class TestStream:
+    def test_stream_chunks_cover_run(self):
+        cfg = lenet_config(**{"engine.backend": "fused"})
+        with Session(cfg) as session:
+            direct = session.run()
+            stream = session.stream()
+            chunks = []
+            try:
+                while True:
+                    chunks.append(next(stream))
+            except StopIteration as stop:
+                final = stop.value
+        assert sum(chunk.tiles for chunk in chunks) == direct.report.total_tiles
+        streamed = {
+            run.name: run.records for chunk in chunks for run in chunk.runs
+        }
+        for run in direct.report.runs:
+            assert np.array_equal(streamed[run.name], run.records)
+        for mine, theirs in zip(final.report.runs, direct.report.runs):
+            assert np.array_equal(mine.records, theirs.records)
+
+    def test_stream_chunk_size(self):
+        cfg = lenet_config(**{"engine.backend": "fused",
+                              "scheduler.stream_chunk": 2})
+        with Session(cfg) as session:
+            workloads = len(session.run().report.runs)
+            chunks = list(session.stream())
+        assert len(chunks) == -(-workloads // 2)
+
+
 class TestSubmitQueue:
     def test_submit_matches_direct_call(self):
         cfg = lenet_config(**{"engine.backend": "fused"})
@@ -220,3 +335,30 @@ class TestSubmitQueue:
         future = session.submit("density")
         session.close()
         assert future.result().report.product_density > 0
+
+    def test_submit_returns_future(self):
+        """The PR 4 Future-based contract survives the scheduler rework."""
+        from concurrent.futures import Future
+
+        with Session(lenet_config()) as session:
+            future = session.submit("tradeoff")
+            assert isinstance(future, Future)
+            assert future.result().result.profitable
+
+    def test_submit_shares_session_engine(self):
+        """Scheduled jobs run against the session's engine — one sharded
+        pool across direct calls and submissions."""
+        cfg = lenet_config(**{"engine.backend": "sharded",
+                              "engine.workers": 2, "engine.plan": "trace"})
+        with Session(cfg) as session:
+            session.run()
+            futures = [session.submit("run") for _ in range(3)]
+            for future in futures:
+                assert future.result().report.total_tiles > 0
+            assert session.backend.pools_spawned == 1
+
+    def test_submit_after_close_raises(self):
+        session = Session(lenet_config())
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.submit("run")

@@ -24,6 +24,7 @@ HELP_CASES = {
     "sweep": ["sweep", "--help"],
     "scaling": ["scaling", "--help"],
     "run": ["run", "--help"],
+    "batch": ["batch", "--help"],
     "tradeoff": ["tradeoff", "--help"],
     "config": ["config", "--help"],
     "config_dump": ["config", "dump", "--help"],
@@ -139,6 +140,75 @@ class TestConfigDump:
         path.write_text(capsys.readouterr().out)
         assert main(["run", "--config", str(path)]) == 0
         assert "lenet5/mnist" in capsys.readouterr().out
+
+
+class TestBatchCommand:
+    """`repro batch`: many configs through one shared scheduler/pool."""
+
+    def _write_config(self, tmp_path, name, **overrides):
+        cfg = RunConfig().with_overrides({
+            "workload.model": "lenet5", "workload.dataset": "mnist",
+            "engine.backend": "fused", **overrides,
+        })
+        return str(cfg.to_file(tmp_path / name))
+
+    def test_batch_runs_all_configs(self, capsys, tmp_path):
+        a = self._write_config(tmp_path, "a.json")
+        b = self._write_config(tmp_path, "b.json")
+        assert main(["batch", "--config", a, "--config", b]) == 0
+        out = capsys.readouterr().out
+        assert "2 job(s) through one scheduler" in out
+        assert out.count("lenet5/mnist") == 2
+        assert "2 coalesced across 1 planner batch(es)" in out
+
+    def test_batch_set_applies_to_every_job(self, capsys, tmp_path):
+        a = self._write_config(tmp_path, "a.json")
+        b = self._write_config(tmp_path, "b.json")
+        assert main(["batch", "--config", a, "--config", b,
+                     "--set", "engine.backend=vectorized"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("vectorized") == 2
+
+    def test_batch_records_match_serial_run(self, tmp_path, capsys):
+        """Acceptance: the batch path is bit-identical to `repro run`
+        on the same config (both print the same tiles table rows)."""
+        import numpy as np
+
+        from repro.api import Job, Scheduler, Session
+
+        path = self._write_config(tmp_path, "a.json")
+        cfg = RunConfig.from_file(path)
+        with Session(cfg) as session:
+            serial = session.run().report
+        with Scheduler(cfg) as scheduler:
+            mine, twin = scheduler.gather([Job(config=cfg), Job(config=cfg)])
+        for result in (mine, twin):
+            assert result.report.total_tiles == serial.total_tiles
+            for run_a, run_b in zip(result.report.runs, serial.runs):
+                assert np.array_equal(run_a.records, run_b.records)
+
+    def test_batch_other_kind(self, capsys, tmp_path):
+        path = self._write_config(tmp_path, "a.json")
+        assert main(["batch", "--config", path, "--kind", "tradeoff"]) == 0
+        out = capsys.readouterr().out
+        assert "tradeoff" in out
+
+    def test_batch_failed_job_exits_nonzero(self, capsys, tmp_path):
+        good = self._write_config(tmp_path, "good.json")
+        bad = self._write_config(tmp_path, "bad.json",
+                                 **{"workload.model": "no-such-model"})
+        assert main(["batch", "--config", good, "--config", bad]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.out
+        assert "batch job failed" in captured.err
+
+    def test_batch_bad_config_file_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="repro: error: --config"):
+            main(["batch", "--config", "missing.toml"])
+
+    def test_batch_requires_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["batch"])
 
 
 class TestConfigFileEquivalence:

@@ -162,6 +162,68 @@ class TestShardedConstruction:
         backend.close()
 
 
+class TestDelTeardown:
+    """Satellite contract: __del__ never raises or prints, even when the
+    executor is half torn down (interpreter-shutdown GC)."""
+
+    def test_del_suppresses_shutdown_errors(self):
+        backend = ShardedBackend(workers=2)
+
+        class BrokenPool:
+            def shutdown(self, *args, **kwargs):
+                raise RuntimeError("cannot schedule new futures after "
+                                   "interpreter shutdown")
+
+        backend._pool = BrokenPool()
+        backend.__del__()  # must swallow the teardown error...
+        assert backend._pool is None  # ...and detach so GC never retries
+
+    def test_del_without_pool_is_noop(self):
+        backend = ShardedBackend(workers=2)
+        backend.__del__()
+        backend.__del__()
+
+    def test_del_on_partially_constructed_backend(self):
+        backend = ShardedBackend.__new__(ShardedBackend)  # __init__ skipped
+        backend.__del__()  # no _pool attribute yet: still silent
+
+    def test_interpreter_shutdown_is_silent(self):
+        """A live engaged pool collected at interpreter exit (no close())
+        must not print teardown noise to stderr."""
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        import repro
+
+        # Make the package importable in the child even from a bare
+        # checkout (the root conftest shim only helps pytest itself).
+        src = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        script = (
+            "import numpy as np\n"
+            "from repro.core.spike_matrix import random_spike_matrix\n"
+            "from repro.engine import ShardedBackend\n"
+            "backend = ShardedBackend(workers=2)\n"
+            "matrix = random_spike_matrix(64 * 20, 16, 0.2, "
+            "np.random.default_rng(0))\n"
+            "backend.matrix_records(matrix, 64, 16)\n"
+            "assert backend._pool is not None\n"
+            "# exit without close(): GC/shutdown must stay silent\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stderr.strip() == "", result.stderr
+
+
 class TestPoolLifecycle:
     """Pools are spawned once, reused across calls, and never leaked."""
 

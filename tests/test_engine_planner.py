@@ -177,6 +177,88 @@ class TestPlannedRecordEquivalence:
             assert np.array_equal(mine.records, theirs.records)
 
 
+class TestPartialResults:
+    """The on_workload streaming seam: exactly-once, exact records."""
+
+    def test_callback_fires_once_per_workload(self, rng):
+        workloads = _workloads(
+            rng, [(128, 32, 0.3, 0.5), (64, 16, 0.2, 0.0), (192, 48, 0.4, 0.3)]
+        )
+        backend = ReferenceBackend()
+        expected = _matrix_records(workloads, backend)
+        planner = TracePlanner()
+        completed: dict[int, np.ndarray] = {}
+
+        def on_workload(index, records):
+            assert index not in completed  # exactly once
+            completed[index] = records.copy()
+
+        with planner.exclusive():
+            plan = planner.plan(
+                [w.spikes for w in workloads], TILE_M, TILE_K
+            )
+            per_workload = planner.execute(
+                plan, backend, on_workload=on_workload
+            )
+        assert sorted(completed) == list(range(len(workloads)))
+        for index, records in enumerate(per_workload):
+            assert np.array_equal(completed[index], records)
+            assert np.array_equal(records, expected[index])
+
+    def test_callback_records_match_final_slices(self, rng):
+        """A workload's callback payload is its final record block —
+        complete the moment it fires, not filled in later."""
+        workloads = _workloads(rng, [(128, 32, 0.3, 0.5)] * 3)
+        planner = TracePlanner()
+        backend = ReferenceBackend()
+        snapshots = {}
+
+        def on_workload(index, records):
+            snapshots[index] = records.copy()
+
+        with planner.exclusive():
+            plan = planner.plan([w.spikes for w in workloads], TILE_M, TILE_K)
+            final = planner.execute(plan, backend, on_workload=on_workload)
+        for index, records in enumerate(final):
+            assert np.array_equal(snapshots[index], records)
+
+    def test_exclusive_serializes_concurrent_plans(self, rng):
+        """Two threads sharing one planner interleave plan+execute pairs
+        without corrupting each other's arena-backed buckets."""
+        import threading
+
+        workloads_a = _workloads(rng, [(128, 32, 0.3, 0.5), (64, 16, 0.2, 0.0)])
+        workloads_b = _workloads(rng, [(192, 48, 0.4, 0.3)])
+        backend = ReferenceBackend()
+        expected = {
+            "a": _matrix_records(workloads_a, backend),
+            "b": _matrix_records(workloads_b, backend),
+        }
+        planner = TracePlanner()
+        failures: list[str] = []
+
+        def worker(name, workloads):
+            for _ in range(5):
+                with planner.exclusive():
+                    plan = planner.plan(
+                        [w.spikes for w in workloads], TILE_M, TILE_K
+                    )
+                    results = planner.execute(plan, backend)
+                for mine, theirs in zip(results, expected[name]):
+                    if not np.array_equal(mine, theirs):
+                        failures.append(name)
+
+        threads = [
+            threading.Thread(target=worker, args=("a", workloads_a)),
+            threading.Thread(target=worker, args=("b", workloads_b)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+
+
 class TestDedupStats:
     def test_repeated_workloads_dedup(self, rng):
         """A trace repeated over timesteps dedups across workloads."""
