@@ -653,6 +653,7 @@ class Scheduler:
                     cache_hits=cache_hits,
                     cache_misses=cache_misses,
                     profile=dict(profile),
+                    jit_active=getattr(engine.backend, "jit_active", None),
                 )
                 job_tiles = 0
                 for workload, records in zip(workloads, job_records):

@@ -235,6 +235,13 @@ def cmd_run(config: RunConfig, session: Session) -> str:
     )
     if report.workers is not None:
         footer += f"\nworkers: {report.workers}"
+    if report.jit_active is not None:
+        footer += (
+            "\njit: active (numba kernels)"
+            if report.jit_active
+            else "\njit: inactive — NumPy fallback (install repro[compiled] "
+            "and unset REPRO_NO_JIT for native kernels)"
+        )
     if report.plan == "trace":
         footer += (
             f"\nplan: trace — {report.planned_tiles} tiles -> "

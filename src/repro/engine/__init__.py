@@ -2,8 +2,10 @@
 
 The engine is the throughput layer above :mod:`repro.core`: it chooses a
 :class:`~repro.engine.backends.Backend` (``reference`` oracle, bulk
-``vectorized`` NumPy, tile-batched ``fused`` kernels, or multiprocess
-``sharded`` execution), batches whole-network traces, and caches per-tile
+``vectorized`` NumPy, tile-batched ``fused`` kernels, multiprocess
+``sharded`` execution, or Numba-``compiled`` native kernels with a
+transparent NumPy fallback), batches whole-network traces, and caches
+per-tile
 forests by content hash. :mod:`repro.engine.planner` lifts batching to
 trace scope (``plan="trace"``): cross-workload shape buckets, one global
 content dedup per bucket, and arena-backed buffers reused across runs.
@@ -19,6 +21,7 @@ from repro.engine.backends import (
     get_backend,
     register_backend,
 )
+from repro.engine.compiled import CompiledBackend
 from repro.engine.fused import FusedBackend
 from repro.engine.parallel import ShardedBackend
 from repro.engine.planner import (
@@ -39,6 +42,7 @@ from repro.engine.pipeline import (
 __all__ = [
     "Backend",
     "BufferArena",
+    "CompiledBackend",
     "FusedBackend",
     "PLAN_MODES",
     "ReferenceBackend",

@@ -17,10 +17,13 @@ forests, tile records, lossless GeMM execution — defined by
   per-row accumulation loop with one matmul plus level-order prefix
   seeding.
 
-Two more backends register themselves on import of :mod:`repro.engine`:
+Three more backends register themselves on import of :mod:`repro.engine`:
 ``fused`` (:mod:`repro.engine.fused` — tile-batched kernels, no per-tile
-Python dispatch) and ``sharded`` (:mod:`repro.engine.parallel` —
-multiprocess tile-batch sharding). Every backend produces bit-identical
+Python dispatch), ``sharded`` (:mod:`repro.engine.parallel` —
+multiprocess tile-batch sharding), and ``compiled``
+(:mod:`repro.engine.compiled` — Numba-JIT native kernels over the same
+seam, NumPy fallback when the optional extra is absent). Every backend
+produces bit-identical
 forests, tile records, and (for integer weights) GeMM outputs; later
 scaling work plugs in here by registering further backends.
 """
@@ -67,6 +70,17 @@ class Backend(ABC):
     """
 
     name: str = "abstract"
+
+    @classmethod
+    def availability(cls) -> str | None:
+        """Install/availability note for this backend, or ``None``.
+
+        Backends gated on optional dependencies (``compiled`` on numba)
+        override this to report their install status; the note is
+        rendered next to the name in :func:`unknown_backend_error` so a
+        typo'd ``--backend`` flag doubles as an availability listing.
+        """
+        return None
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
@@ -397,9 +411,19 @@ def register_backend(cls: type[Backend]) -> type[Backend]:
 
 
 def unknown_backend_error(backend: str) -> ValueError:
-    """The canonical unknown-backend error, shared by every entry point."""
+    """The canonical unknown-backend error, shared by every entry point.
+
+    Backends with an optional-dependency gate annotate their entry with
+    :meth:`Backend.availability`, e.g. ``compiled (numba not installed,
+    runs as NumPy fallback)``, so the error doubles as an availability
+    listing.
+    """
+    entries = []
+    for name in available_backends():
+        note = _BACKENDS[name].availability()
+        entries.append(f"{name} ({note})" if note else name)
     return ValueError(
-        f"unknown backend {backend!r}; available: {available_backends()}"
+        f"unknown backend {backend!r}; available: {', '.join(entries)}"
     )
 
 

@@ -197,6 +197,8 @@ class EngineReport:
     Trace-planned runs (``plan == "trace"``) add the planner stages
     ``plan`` (bucket merge / arena fill), ``dedup`` (global content
     dedup + cache traffic), and ``scatter`` (per-workload scatter-back);
+    the ``compiled`` backend adds ``warmup`` (one-time JIT compilation /
+    cache load, paid once per process);
     stage times are nested inside the run's wall-clock, so they always
     sum to at most :attr:`total_seconds`. ``workers`` echoes the process
     count for sharded runs; ``planned_tiles``/``unique_tiles`` describe
@@ -217,6 +219,10 @@ class EngineReport:
     plan: str = "matrix"
     planned_tiles: int = 0
     unique_tiles: int = 0
+    #: ``compiled`` backend only: True when records came from the JIT
+    #: kernel, False when it fell back to the fused NumPy path; ``None``
+    #: for backends without a JIT notion.
+    jit_active: bool | None = None
 
     @property
     def total_tiles(self) -> int:
@@ -549,6 +555,7 @@ class ProsperityEngine:
             dataset=dataset,
             workers=getattr(self.backend, "workers", None),
             plan=plan,
+            jit_active=getattr(self.backend, "jit_active", None),
         )
         hits0 = self.cache.hits if self.cache else 0
         misses0 = self.cache.misses if self.cache else 0
@@ -560,6 +567,10 @@ class ProsperityEngine:
         if self.cache:
             report.cache_hits = self.cache.hits - hits0
             report.cache_misses = self.cache.misses - misses0
+        # Re-read after the run: a failed first JIT dispatch degrades the
+        # compiled backend to its fallback mid-run, and the report should
+        # describe what actually executed.
+        report.jit_active = getattr(self.backend, "jit_active", None)
         return report
 
     def _run_batched(
