@@ -26,6 +26,7 @@ from benchmarks.conftest import save_result
 from benchmarks.test_engine_throughput import _append_trajectory, _best_of
 from repro.analysis.report import format_ratio, format_table
 from repro.api import Job, RunConfig, Scheduler, Session
+from repro.engine import faults
 from repro.workloads import get_trace
 
 #: Contract minimum: coalesced aggregate throughput over serial Session
@@ -34,6 +35,10 @@ MIN_COALESCE_SPEEDUP = 1.3
 
 #: Concurrent client requests per batch.
 N_JOBS = 8
+
+#: Contract maximum: fraction of a coalesced batch the disabled fault
+#: hooks may cost (ISSUE 7's resilience-overhead bar).
+MAX_RESILIENCE_OVERHEAD = 0.02
 
 
 def _serving_config() -> RunConfig:
@@ -198,3 +203,85 @@ def test_concurrent_submission_overhead(request):
         for run_a, run_b in zip(result.report.runs, serial.report.runs):
             assert np.array_equal(run_a.records, run_b.records)
     assert elapsed < 300  # completes promptly; the real gate is above
+
+
+def test_resilience_overhead(results_dir, request):
+    """The resilience layer is free when idle: with no fault plan
+    installed, the hot-path hooks the engine calls on every kernel
+    dispatch cost (well) under ``MAX_RESILIENCE_OVERHEAD`` of one
+    coalesced serving batch.
+
+    The budget is deliberately pessimistic: a coalesced batch performs
+    well under 100 hook checks (one per kernel launch / batch dispatch),
+    but the bar charges 1000 of them — >10x headroom — against the
+    measured batch time.
+    """
+    quick = request.config.getoption("--quick")
+    assert faults.active_plan() is None, "fault harness must be off"
+
+    # Direct cost of one disabled hook (amortized over many calls).
+    calls = 100_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        faults.kernel_fault("bench.site")
+        faults.poison_fault(("bench-label",), site="bench")
+    per_check = (time.perf_counter() - start) / calls
+
+    config = _serving_config()
+    workload_cfg = config.workload
+    get_trace(workload_cfg.model, workload_cfg.dataset,
+              workload_cfg.preset, workload_cfg.seed)
+    results, _, _ = _run_coalesced(config)
+    tiles = sum(result.report.total_tiles for result in results)
+    coalesced_seconds = _best_of(
+        lambda: _run_coalesced(config), 1 if quick else 3
+    )
+
+    charged_checks = 1000
+    overhead = per_check * charged_checks / coalesced_seconds
+    workload = f"{workload_cfg.model}/{workload_cfg.dataset}[jobs{N_JOBS}]"
+
+    payload = {
+        "workload": workload,
+        "per_check_ns": per_check * 1e9,
+        "charged_checks": charged_checks,
+        "coalesced_seconds": coalesced_seconds,
+        "overhead_fraction": overhead,
+        "max_overhead_fraction": MAX_RESILIENCE_OVERHEAD,
+    }
+    (results_dir / "resilience_overhead.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    save_result(
+        "resilience_overhead",
+        format_table(
+            ["workload", "check cost", "charged checks", "batch time",
+             "overhead", "bar"],
+            [[
+                workload,
+                f"{per_check * 1e9:,.0f} ns",
+                charged_checks,
+                f"{coalesced_seconds * 1e3:,.1f} ms",
+                f"{overhead * 100:.4f}%",
+                f"< {MAX_RESILIENCE_OVERHEAD * 100:.0f}%",
+            ]],
+            title="resilience layer overhead with fault hooks disabled",
+        ),
+    )
+    _append_trajectory(
+        [
+            {
+                "workload": workload,
+                "backend": "scheduler-resilience-off",
+                "tiles": int(tiles),
+                "tiles_per_sec": tiles / coalesced_seconds,
+            },
+        ],
+        quick,
+    )
+
+    assert overhead < MAX_RESILIENCE_OVERHEAD, (
+        f"disabled fault hooks cost {overhead * 100:.3f}% of a coalesced "
+        f"batch ({per_check * 1e9:.0f} ns/check), above the "
+        f"{MAX_RESILIENCE_OVERHEAD * 100:.0f}% resilience-overhead bar"
+    )

@@ -15,7 +15,12 @@ This package is the canonical way to drive the system:
   submissions (:class:`Job` / :class:`JobHandle`), compatible engine
   jobs coalesced into shared trace-planner batches (one global dedup,
   one kernel launch per shape bucket, per-job scatter-back), bounded
-  queue depth, cancellation, and streaming.
+  queue depth, cancellation, and streaming — plus the resilience
+  layer: admission control (:class:`SchedulerSaturated`), queue
+  deadlines (:class:`DeadlineExceeded`), transient-failure retries,
+  and blast-radius isolation of poisoned coalesced jobs
+  (:class:`BatchExecutionError`), configured by the ``[resilience]``
+  section (:class:`ResilienceConfig`).
 * :class:`AsyncSession` — ``asyncio`` wrappers (``await run()`` /
   ``gather()`` / ``async for chunk in stream()``) over the scheduler.
 
@@ -29,6 +34,7 @@ typed object and pooled resources are shared.
 from repro.api.aio import AsyncSession
 from repro.api.config import (
     EngineConfig,
+    ResilienceConfig,
     RunConfig,
     SamplingConfig,
     SchedulerConfig,
@@ -37,7 +43,15 @@ from repro.api.config import (
     TradeoffConfig,
     WorkloadConfig,
 )
-from repro.api.scheduler import Job, JobHandle, Scheduler
+from repro.api.scheduler import (
+    BatchExecutionError,
+    DeadlineExceeded,
+    Job,
+    JobHandle,
+    Scheduler,
+    SchedulerSaturated,
+    StreamTimeoutError,
+)
 from repro.api.session import (
     DensityResult,
     EngineRunResult,
@@ -52,11 +66,14 @@ from repro.api.session import (
 
 __all__ = [
     "AsyncSession",
+    "BatchExecutionError",
+    "DeadlineExceeded",
     "DensityResult",
     "EngineConfig",
     "EngineRunResult",
     "Job",
     "JobHandle",
+    "ResilienceConfig",
     "RunChunk",
     "RunConfig",
     "RunResult",
@@ -64,7 +81,9 @@ __all__ = [
     "ScalingResult",
     "Scheduler",
     "SchedulerConfig",
+    "SchedulerSaturated",
     "Session",
+    "StreamTimeoutError",
     "SimulationResult",
     "SimulatorConfig",
     "SweepConfig",

@@ -85,39 +85,63 @@ class AsyncSession:
             self.scheduler.submit, kind, config, **kwargs
         )
 
-    async def _run_kind(self, kind: str, config: RunConfig | None) -> RunResult:
-        handle = await self._submit(kind, config)
+    async def _run_kind(
+        self, kind: str, config: RunConfig | None, timeout: float | None = None
+    ) -> RunResult:
+        handle = await self._submit(kind, config, timeout=timeout)
         return await asyncio.wrap_future(handle.future)
 
-    async def run(self, config: RunConfig | None = None) -> RunResult:
-        """``await``-able :meth:`Session.run` (coalescable across callers)."""
-        return await self._run_kind("run", config)
+    async def run(
+        self, config: RunConfig | None = None, *, timeout: float | None = None
+    ) -> RunResult:
+        """``await``-able :meth:`Session.run` (coalescable across callers).
 
-    async def simulate(self, config: RunConfig | None = None) -> RunResult:
-        return await self._run_kind("simulate", config)
+        ``timeout`` bounds the wait for queue space (raises
+        ``SchedulerSaturated`` past it); ``None`` defers to the config's
+        ``resilience.overload_policy``. The same contract applies to
+        every experiment coroutine below.
+        """
+        return await self._run_kind("run", config, timeout)
 
-    async def sweep(self, config: RunConfig | None = None) -> RunResult:
-        return await self._run_kind("sweep", config)
+    async def simulate(
+        self, config: RunConfig | None = None, *, timeout: float | None = None
+    ) -> RunResult:
+        return await self._run_kind("simulate", config, timeout)
 
-    async def density(self, config: RunConfig | None = None) -> RunResult:
-        return await self._run_kind("density", config)
+    async def sweep(
+        self, config: RunConfig | None = None, *, timeout: float | None = None
+    ) -> RunResult:
+        return await self._run_kind("sweep", config, timeout)
 
-    async def scaling(self, config: RunConfig | None = None) -> RunResult:
-        return await self._run_kind("scaling", config)
+    async def density(
+        self, config: RunConfig | None = None, *, timeout: float | None = None
+    ) -> RunResult:
+        return await self._run_kind("density", config, timeout)
 
-    async def tradeoff(self, config: RunConfig | None = None) -> RunResult:
-        return await self._run_kind("tradeoff", config)
+    async def scaling(
+        self, config: RunConfig | None = None, *, timeout: float | None = None
+    ) -> RunResult:
+        return await self._run_kind("scaling", config, timeout)
 
-    async def gather(self, *jobs) -> list[RunResult]:
+    async def tradeoff(
+        self, config: RunConfig | None = None, *, timeout: float | None = None
+    ) -> RunResult:
+        return await self._run_kind("tradeoff", config, timeout)
+
+    async def gather(self, *jobs, timeout: float | None = None) -> list[RunResult]:
         """Submit many jobs as one batch and await every result in order.
 
         Each job is a :class:`~repro.api.scheduler.Job`, a bare
         :class:`RunConfig` (a run job), or an experiment kind name.
         Jobs enter the queue atomically, so compatible engine jobs land
-        in the same coalesced planner batch.
+        in the same coalesced planner batch. ``timeout`` bounds the
+        admission wait for the whole batch (shed batches are rejected
+        whole, before any handle is queued).
         """
         batch = [Job.of(job) for job in jobs]
-        handles = await asyncio.to_thread(self.scheduler.submit_many, batch)
+        handles = await asyncio.to_thread(
+            self.scheduler.submit_many, batch, timeout
+        )
         return list(
             await asyncio.gather(
                 *(asyncio.wrap_future(handle.future) for handle in handles)

@@ -56,11 +56,14 @@ from repro.engine.backends import (
     unknown_backend_error,
     validate_workers,
 )
+from repro.engine.faults import FaultPlan
 from repro.engine.planner import validate_plan_mode
 from repro.workloads import PRESETS
 
 __all__ = [
     "EngineConfig",
+    "OVERLOAD_POLICIES",
+    "ResilienceConfig",
     "RunConfig",
     "SamplingConfig",
     "SchedulerConfig",
@@ -68,6 +71,7 @@ __all__ = [
     "SweepConfig",
     "TradeoffConfig",
     "WorkloadConfig",
+    "engine_backend_options",
 ]
 
 
@@ -148,6 +152,42 @@ class SchedulerConfig:
     stream_chunk: int = 1
 
 
+#: Overload policies the scheduler's admission control understands.
+OVERLOAD_POLICIES = ("block", "shed")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Failure handling: supervision, retries, deadlines, admission.
+
+    ``overload_policy`` decides what a full scheduler queue does to new
+    ``submit()`` calls: ``"block"`` (default) waits for space — the
+    pre-existing backpressure behavior, preserved exactly — while
+    ``"shed"`` waits at most ``shed_timeout_ms`` and then raises
+    ``SchedulerSaturated``. An explicit ``submit(..., timeout=)`` always
+    wins over the policy. ``deadline_ms`` (0 = none) bounds how long a
+    job may wait in the queue before dispatch; expired jobs fail with
+    ``DeadlineExceeded`` instead of running late. ``retries`` /
+    ``retry_backoff_ms`` bound re-dispatch of *transient* failures
+    (broken worker pools, injected ``engine_error`` faults); poisoned
+    jobs are never retried, only isolated. ``max_pool_rebuilds`` /
+    ``degrade_on_pool_failure`` are the ``sharded`` backend's
+    supervision budget (see ``ShardedBackend``). ``faults`` is a fault
+    plan spec for the deterministic injection harness
+    (:mod:`repro.engine.faults`) — empty (the default) keeps every
+    failure point inert.
+    """
+
+    overload_policy: str = "block"
+    shed_timeout_ms: float = 100.0
+    deadline_ms: float = 0.0
+    retries: int = 1
+    retry_backoff_ms: float = 10.0
+    max_pool_rebuilds: int = 2
+    degrade_on_pool_failure: bool = True
+    faults: str = ""
+
+
 _SECTIONS: dict[str, type] = {
     "workload": WorkloadConfig,
     "engine": EngineConfig,
@@ -156,6 +196,7 @@ _SECTIONS: dict[str, type] = {
     "sweep": SweepConfig,
     "tradeoff": TradeoffConfig,
     "scheduler": SchedulerConfig,
+    "resilience": ResilienceConfig,
 }
 
 
@@ -203,6 +244,25 @@ def _section_from_dict(name: str, cls: type, data: dict):
     return cls(**values)
 
 
+def engine_backend_options(config: "RunConfig") -> dict:
+    """Backend constructor options implied by the ``[resilience]`` section.
+
+    Only options the configured backend actually accepts are returned
+    (the ``sharded`` backend takes ``max_rebuilds``/``degrade``; others
+    take none), so the result is always safe to splat into
+    :func:`~repro.engine.backends.get_backend` or
+    ``ProsperityEngine(backend_options=...)``.
+    """
+    options = {}
+    for option, value in (
+        ("max_rebuilds", config.resilience.max_pool_rebuilds),
+        ("degrade", config.resilience.degrade_on_pool_failure),
+    ):
+        if backend_accepts_option(config.engine.backend, option):
+            options[option] = value
+    return options
+
+
 def _toml_value(value) -> str:
     if isinstance(value, bool):
         return "true" if value else "false"
@@ -235,6 +295,7 @@ class RunConfig:
     sweep: SweepConfig = field(default_factory=SweepConfig)
     tradeoff: TradeoffConfig = field(default_factory=TradeoffConfig)
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -303,6 +364,28 @@ class RunConfig:
             raise ValueError(
                 f"stream_chunk must be >= 1, got {self.scheduler.stream_chunk}"
             )
+        resilience = self.resilience
+        if resilience.overload_policy not in OVERLOAD_POLICIES:
+            raise ValueError(
+                f"unknown overload_policy {resilience.overload_policy!r}; "
+                f"expected one of {OVERLOAD_POLICIES}"
+            )
+        for name, value in (
+            ("shed_timeout_ms", resilience.shed_timeout_ms),
+            ("deadline_ms", resilience.deadline_ms),
+            ("retry_backoff_ms", resilience.retry_backoff_ms),
+        ):
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if resilience.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {resilience.retries}")
+        if resilience.max_pool_rebuilds < 0:
+            raise ValueError(
+                f"max_pool_rebuilds must be >= 0, got {resilience.max_pool_rebuilds}"
+            )
+        # Same eager-validation contract as the engine fields: a bad
+        # fault spec fails at config time with the harness's own error.
+        FaultPlan.parse(resilience.faults)
 
     # -- dict / file round-trip ----------------------------------------
     def to_dict(self) -> dict:

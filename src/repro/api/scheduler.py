@@ -54,21 +54,85 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
-from repro.api.config import RunConfig
+from repro.api.config import RunConfig, engine_backend_options
 from repro.api.session import EngineRunResult, RunChunk, RunResult, Session
 from repro.engine import EngineReport, ProsperityEngine, WorkloadRun
+from repro.engine import faults
+from repro.engine.parallel import PoolBrokenError
 from repro.engine.pipeline import stats_from_records
 from repro.engine.planner import PLANNED_PROFILE_STAGES
 from repro.workloads import get_trace
 
 __all__ = [
     "JOB_KINDS",
+    "BatchExecutionError",
+    "DeadlineExceeded",
     "Job",
     "JobHandle",
     "Scheduler",
+    "SchedulerSaturated",
+    "StreamTimeoutError",
 ]
+
+
+class SchedulerSaturated(RuntimeError):
+    """``submit()`` timed out waiting for queue space (admission control).
+
+    Raised when the queue stays full past the caller's ``timeout=`` or,
+    under ``overload_policy="shed"``, past the configured
+    ``shed_timeout_ms`` — the job was never queued and holds no
+    resources. Shed jobs count in ``Scheduler.jobs_shed``.
+    """
+
+
+class DeadlineExceeded(TimeoutError):
+    """A job's ``deadline_ms`` expired before the dispatcher claimed it.
+
+    Deadlines bound *queue* latency: once a job starts executing it runs
+    to completion (process-pool kernels are not interruptible), so the
+    check happens at claim time and an expired job never runs at all.
+    """
+
+    def __init__(self, message: str, *, job_id: int | None = None, label: str = ""):
+        super().__init__(message)
+        self.job_id = job_id
+        self.label = label
+
+
+class BatchExecutionError(RuntimeError):
+    """One job of a coalesced batch failed; names the culprit job.
+
+    Each failed handle gets its *own* instance (never a shared object),
+    with the triggering exception as ``__cause__``. Healthy jobs of the
+    same batch are re-dispatched individually and still return
+    bit-identical results.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        job_id: int | None = None,
+        label: str = "",
+        batch_size: int = 1,
+    ):
+        super().__init__(message)
+        self.job_id = job_id
+        self.label = label
+        self.batch_size = batch_size
+
+
+class StreamTimeoutError(TimeoutError, queue.Empty):
+    """``JobHandle.next_chunk`` timed out waiting for the next chunk.
+
+    Subclasses :class:`TimeoutError` — the contract shared with
+    ``result(timeout=)`` — and, for one deprecation release, also
+    ``queue.Empty``, which ``next_chunk`` raised before 1.4; catch
+    ``TimeoutError``.
+    """
 
 #: Experiment kinds a scheduler accepts — the Session methods by name.
 JOB_KINDS = Session._QUEUEABLE
@@ -99,16 +163,25 @@ class Job:
     :class:`RunConfig` overrides everything (workload, engine, sampling)
     for that job alone. ``label`` is free-form client metadata echoed on
     the handle (the CLI uses it for config file names).
+    ``deadline_ms`` bounds the job's queue wait (``None`` defers to the
+    effective config's ``resilience.deadline_ms``; ``0`` there means no
+    deadline): a job still undispatched when it expires fails with
+    :class:`DeadlineExceeded` instead of running late.
     """
 
     kind: str = "run"
     config: RunConfig | None = None
     label: str = ""
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
             raise ValueError(
                 f"unknown experiment {self.kind!r}; expected one of {JOB_KINDS}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be > 0 (or None), got {self.deadline_ms}"
             )
 
     @classmethod
@@ -144,6 +217,9 @@ class JobHandle:
         self.config = config  # effective config (job override or default)
         self.future: Future = Future()
         self.stream_chunk = stream_chunk
+        # Absolute queue deadline (time.monotonic()), or None. Set by
+        # the scheduler at submission; checked at dispatcher claim time.
+        self.deadline_at: float | None = None
         self._chunks: queue.SimpleQueue | None = (
             queue.SimpleQueue() if stream_chunk is not None else None
         )
@@ -194,13 +270,22 @@ class JobHandle:
         """Block for the next chunk; ``None`` once the stream is done.
 
         Raises the job's exception (or ``CancelledError``) after the
-        stream terminates abnormally, and ``queue.Empty`` on timeout.
+        stream terminates abnormally, and :class:`StreamTimeoutError` —
+        a :class:`TimeoutError`, matching ``result(timeout=)`` — when no
+        chunk arrives within ``timeout`` seconds. (The pre-1.4
+        ``queue.Empty`` contract still catches it for one release:
+        ``StreamTimeoutError`` subclasses both.)
         """
         if self._chunks is None:
             raise RuntimeError("job was not submitted with stream=True")
         if self._exhausted:
             return None
-        item = self._chunks.get(timeout=timeout)
+        try:
+            item = self._chunks.get(timeout=timeout)
+        except queue.Empty:
+            raise StreamTimeoutError(
+                f"no chunk within {timeout} s for job #{self.id}"
+            ) from None
         if item is _DONE:
             self._exhausted = True
             if self.future.done():
@@ -300,10 +385,20 @@ class Scheduler:
         self._engines: dict[tuple, ProsperityEngine] = {}
         self._adopted: set[tuple] = set()  # engine keys the scheduler must not close
         self._sessions: dict[RunConfig, Session] = {}
+        self.resilience = self.config.resilience
+        # A configured fault plan activates the deterministic injection
+        # harness for this process (off when the spec is empty).
+        if self.resilience.faults:
+            faults.install(self.resilience.faults)
         #: Serving statistics (informational; updated by the dispatcher).
         self.jobs_submitted = 0
         self.jobs_coalesced = 0  # jobs that ran inside a >1-job batch
         self.batches = 0  # coalesced planner batches executed
+        #: Resilience counters.
+        self.jobs_shed = 0  # submits rejected by admission control
+        self.jobs_retried = 0  # job dispatches retried on transient failure
+        self.jobs_expired = 0  # jobs failed by queue-deadline expiry
+        self.isolation_reruns = 0  # solo re-dispatches after a batch failure
 
     # -- lifecycle ------------------------------------------------------
     def __enter__(self) -> "Scheduler":
@@ -353,6 +448,35 @@ class Scheduler:
             for engine in self._engines.values()
         )
 
+    @property
+    def stats(self) -> dict:
+        """Serving + resilience counters as one snapshot dict.
+
+        Backend supervision numbers (``pool_rebuilds``, ``degraded``)
+        aggregate over the scheduler's live engines, so read them before
+        :meth:`close` releases the engines.
+        """
+        with self._cv:
+            engines = list(self._engines.values())
+        pool_rebuilds = 0
+        degraded = False
+        for engine in engines:
+            counters = engine.backend.failure_counters()
+            pool_rebuilds += counters.get("pool_rebuilds", 0)
+            degraded = degraded or bool(counters.get("degraded"))
+        return {
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_coalesced": self.jobs_coalesced,
+            "batches": self.batches,
+            "jobs_shed": self.jobs_shed,
+            "jobs_retried": self.jobs_retried,
+            "jobs_expired": self.jobs_expired,
+            "isolation_reruns": self.isolation_reruns,
+            "pool_rebuilds": pool_rebuilds,
+            "pools_spawned": self.pools_spawned,
+            "degraded": degraded,
+        }
+
     def adopt_engine(self, config: RunConfig, engine: ProsperityEngine) -> None:
         """Share an externally-owned engine for ``config``'s signature.
 
@@ -379,6 +503,7 @@ class Scheduler:
         *,
         stream: bool = False,
         chunk: int | None = None,
+        timeout: float | None = None,
     ) -> JobHandle:
         """Queue one job; blocks while ``max_inflight`` jobs are queued.
 
@@ -388,6 +513,12 @@ class Scheduler:
         :class:`~repro.api.session.RunChunk` objects as workloads
         complete; ``chunk`` overrides the config's
         ``scheduler.stream_chunk`` grouping.
+
+        ``timeout`` bounds the wait for queue space in seconds, raising
+        :class:`SchedulerSaturated` when it elapses. ``None`` defers to
+        the configured overload policy: ``"block"`` waits indefinitely
+        (the pre-resilience behavior, unchanged), ``"shed"`` waits at
+        most ``resilience.shed_timeout_ms``.
         """
         if isinstance(job, str):
             job = Job(kind=job, config=config)
@@ -399,17 +530,19 @@ class Scheduler:
                 )
         if stream and job.kind != "run":
             raise ValueError(f"streaming is only supported for 'run' jobs, got {job.kind!r}")
-        return self._enqueue([self._handle_for(job, stream, chunk)])[0]
+        return self._enqueue([self._handle_for(job, stream, chunk)], timeout)[0]
 
-    def submit_many(self, jobs) -> list[JobHandle]:
+    def submit_many(self, jobs, timeout: float | None = None) -> list[JobHandle]:
         """Atomically queue several jobs — they dispatch as one batch.
 
         All handles enter the queue under one lock acquisition, so the
         dispatcher's next drain sees them together even with a zero
-        coalescing window (the CLI ``repro batch`` path).
+        coalescing window (the CLI ``repro batch`` path). ``timeout``
+        follows the same admission-control contract as :meth:`submit`;
+        a shed batch is rejected whole (no handle is queued).
         """
         handles = [self._handle_for(Job.of(job), False, None) for job in jobs]
-        return self._enqueue(handles)
+        return self._enqueue(handles, timeout)
 
     def gather(self, jobs) -> list[RunResult]:
         """Submit many jobs together and wait for every result in order."""
@@ -424,9 +557,23 @@ class Scheduler:
             )
             if stream_chunk < 1:
                 raise ValueError(f"stream chunk must be >= 1, got {stream_chunk}")
-        return JobHandle(job, next(self._ids), effective, stream_chunk)
+        handle = JobHandle(job, next(self._ids), effective, stream_chunk)
+        deadline_ms = job.deadline_ms
+        if deadline_ms is None:
+            deadline_ms = effective.resilience.deadline_ms or None
+        if deadline_ms:
+            handle.deadline_at = time.monotonic() + deadline_ms / 1000.0
+        return handle
 
-    def _enqueue(self, handles: list[JobHandle]) -> list[JobHandle]:
+    def _enqueue(
+        self, handles: list[JobHandle], timeout: float | None = None
+    ) -> list[JobHandle]:
+        # Admission control: an explicit timeout always wins; otherwise
+        # the "shed" policy bounds the wait and "block" (the default)
+        # keeps the original unbounded backpressure exactly.
+        if timeout is None and self.resilience.overload_policy == "shed":
+            timeout = self.resilience.shed_timeout_ms / 1000.0
+        admission_deadline = None if timeout is None else time.monotonic() + timeout
         with self._cv:
             # Block for queue space: enough room for the whole batch, or
             # an empty queue (so one oversized submit_many still fits).
@@ -438,7 +585,18 @@ class Scheduler:
                     or not self._pending
                 ):
                     break
-                self._cv.wait()
+                if admission_deadline is None:
+                    self._cv.wait()
+                    continue
+                remaining = admission_deadline - time.monotonic()
+                if remaining <= 0:
+                    self.jobs_shed += len(handles)
+                    raise SchedulerSaturated(
+                        f"scheduler queue stayed full ({self.max_inflight} "
+                        f"inflight) for {timeout * 1000:.0f} ms; "
+                        f"{len(handles)} job(s) shed"
+                    )
+                self._cv.wait(timeout=remaining)
             self._pending.extend(handles)
             self.jobs_submitted += len(handles)
             if self._thread is None:
@@ -475,10 +633,23 @@ class Scheduler:
     def _dispatch(self, batch: list[JobHandle]) -> None:
         claimed: list[JobHandle] = []
         for handle in batch:
-            if handle.future.set_running_or_notify_cancel():
-                claimed.append(handle)
-            else:
+            if not handle.future.set_running_or_notify_cancel():
                 handle._finish_stream()  # cancelled while queued
+            elif self._expired(handle):
+                # Deadline check at claim time: the job waited out its
+                # queue budget and must fail instead of running late.
+                self.jobs_expired += 1
+                handle.future.set_exception(
+                    DeadlineExceeded(
+                        f"job #{handle.id} missed its "
+                        f"{self._deadline_ms(handle):.0f} ms queue deadline",
+                        job_id=handle.id,
+                        label=handle.job.label,
+                    )
+                )
+                handle._finish_stream()
+            else:
+                claimed.append(handle)
         # Group compatible engine jobs (first-appearance order); every
         # other kind executes alone through its config's session.
         units: list[tuple[str, object]] = []
@@ -502,6 +673,27 @@ class Scheduler:
                 self._run_coalesced(unit)
 
     # -- execution ------------------------------------------------------
+    @staticmethod
+    def _expired(handle: JobHandle) -> bool:
+        return handle.deadline_at is not None and time.monotonic() > handle.deadline_at
+
+    @staticmethod
+    def _deadline_ms(handle: JobHandle) -> float:
+        if handle.job.deadline_ms is not None:
+            return handle.job.deadline_ms
+        return handle.config.resilience.deadline_ms
+
+    @staticmethod
+    def _transient(exc: BaseException) -> bool:
+        """Failures worth re-dispatching: the retry may see a healthy
+        pool (or a burned-out injected fault). Poisoned jobs and spent
+        rebuild budgets are persistent — retrying cannot help."""
+        if isinstance(exc, PoolBrokenError):
+            return False
+        return isinstance(exc, BrokenProcessPool) or bool(
+            getattr(exc, "transient", False)
+        )
+
     def _engine_for(self, config: RunConfig) -> ProsperityEngine:
         key = _engine_key(config)
         with self._cv:
@@ -515,6 +707,7 @@ class Scheduler:
                     cache_size=engine_cfg.cache_size,
                     workers=engine_cfg.workers,
                     plan=engine_cfg.plan,
+                    backend_options=engine_backend_options(config),
                 )
                 self._engines[key] = engine
             return engine
@@ -527,16 +720,27 @@ class Scheduler:
         return session
 
     def _run_single(self, handle: JobHandle) -> None:
-        """Execute one job exactly as its own Session call would."""
-        try:
-            session = self._session_for(handle.config)
-            result = getattr(session, handle.job.kind)()
-        except BaseException as exc:  # noqa: BLE001 - delivered via the future
-            handle.future.set_exception(exc)
-        else:
-            handle.future.set_result(result)
-        finally:
-            handle._finish_stream()
+        """Execute one job exactly as its own Session call would, with
+        bounded retry for transient failures (broken pools, injected
+        ``engine_error`` faults)."""
+        retries = handle.config.resilience.retries
+        backoff = handle.config.resilience.retry_backoff_ms / 1000.0
+        for attempt in range(retries + 1):
+            try:
+                faults.poison_fault([handle.job.label], site="scheduler.single")
+                session = self._session_for(handle.config)
+                result = getattr(session, handle.job.kind)()
+            except BaseException as exc:  # noqa: BLE001 - delivered via the future
+                if attempt < retries and self._transient(exc):
+                    self.jobs_retried += 1
+                    if backoff:
+                        time.sleep(backoff * (attempt + 1))
+                    continue
+                handle.future.set_exception(exc)
+            else:
+                handle.future.set_result(result)
+            break
+        handle._finish_stream()
 
     def _run_coalesced(self, handles: list[JobHandle]) -> None:
         """One planner batch for a whole group of compatible run jobs.
@@ -547,6 +751,15 @@ class Scheduler:
         scatter-back into individual :class:`EngineReport` objects.
         Batch-scoped numbers (profile, cache traffic, planned/unique
         tile counts) are attached to every job's report.
+
+        Failure semantics: a failed batch is retried while the failure
+        is transient (bounded by ``resilience.retries``); a persistent
+        failure triggers blast-radius isolation — every unresolved job
+        is re-dispatched alone, so only the genuinely poisoned job(s)
+        fail (each with its *own* :class:`BatchExecutionError` naming
+        it) while healthy jobs still return bit-identical results.
+        A streaming job whose batch is re-dispatched restarts its chunk
+        stream (chunk indices begin again at 0).
         """
         # Per-job isolation: a job whose trace cannot even be built fails
         # alone; the rest of the group still coalesces and runs.
@@ -567,128 +780,227 @@ class Scheduler:
             jobs.append((handle, trace, list(trace.workloads)))
         if not jobs:
             return
-        handles = [handle for handle, _, _ in jobs]
         try:
-            engine = self._engine_for(handles[0].config)
-            owners: list[tuple[int, int]] = []  # global index -> (job, local)
-            for position, (_, _, workloads) in enumerate(jobs):
-                owners.extend((position, local) for local in range(len(workloads)))
-            sources = [w.spikes for _, _, workloads in jobs for w in workloads]
+            failure = self._try_batch(jobs)
+            if failure is not None:
+                self._isolate(jobs, failure)
+        except BaseException as exc:  # noqa: BLE001 - dispatcher must survive
+            for handle, _, _ in jobs:
+                if not handle.future.done():
+                    handle.future.set_exception(self._blame(handle, exc, len(jobs)))
+        finally:
+            for handle, _, _ in jobs:
+                handle._finish_stream()
 
-            cache = engine.cache
-            hits0 = cache.hits if cache else 0
-            misses0 = cache.misses if cache else 0
-            profile0 = dict(getattr(engine.backend, "profile", None) or {})
-            profile = {stage: 0.0 for stage in PLANNED_PROFILE_STAGES}
-            started = time.perf_counter()
-            assemblers = [
-                _ChunkAssembler(handle, started) if handle.streaming else None
-                for handle, _, _ in jobs
-            ]
+    def _try_batch(self, jobs: list[tuple]) -> BaseException | None:
+        """Run ``jobs`` as one coalesced planner batch with bounded retry.
 
-            def on_workload(index: int, records) -> None:
-                position, local = owners[index]
-                assembler = assemblers[position]
-                if assembler is None:
-                    return
-                workload = jobs[position][2][local]
-                # Copy: the callback payload is a view of the batch-wide
-                # records array; a chunk a client retains must not pin
-                # every other client's records in memory.
+        Transient failures (a worker pool that broke and was rebuilt, an
+        injected ``engine_error``) re-dispatch the batch up to the
+        scheduler config's ``resilience.retries`` times — a retry is
+        safe because shard inputs are pure functions of the traces, so
+        results stay bit-identical. Returns ``None`` once every job's
+        future is resolved, or the final exception (unresolved futures
+        are then the caller's to fail or isolate).
+        """
+        retries = self.resilience.retries
+        backoff = self.resilience.retry_backoff_ms / 1000.0
+        failure: BaseException | None = None
+        for attempt in range(retries + 1):
+            live = [job for job in jobs if not job[0].future.done()]
+            if not live:
+                return None
+            try:
+                self._execute_batch(live)
+                return None
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                failure = exc
+                if attempt < retries and self._transient(exc):
+                    self.jobs_retried += len(live)
+                    if backoff:
+                        time.sleep(backoff * (attempt + 1))
+                    continue
+                break
+        return failure
+
+    def _isolate(self, jobs: list[tuple], failure: BaseException) -> None:
+        """Blast-radius isolation after a persistent batch failure.
+
+        Each still-unresolved job is re-dispatched alone: only the
+        genuinely poisoned job(s) get an exception — each handle its own
+        :class:`BatchExecutionError` instance naming that job — while
+        healthy jobs run to bit-identical results (bucket composition
+        cannot change per-tile records, so solo == coalesced).
+        """
+        batch_size = len(jobs)
+        if batch_size == 1:
+            handle = jobs[0][0]
+            if not handle.future.done():
+                handle.future.set_exception(self._blame(handle, failure, batch_size))
+            return
+        for job in jobs:
+            handle = job[0]
+            if handle.future.done():
+                continue
+            self.isolation_reruns += 1
+            solo_failure = self._try_batch([job])
+            if solo_failure is not None and not handle.future.done():
+                handle.future.set_exception(
+                    self._blame(handle, solo_failure, batch_size)
+                )
+            handle._finish_stream()
+
+    @staticmethod
+    def _blame(
+        handle: JobHandle, exc: BaseException, batch_size: int
+    ) -> BatchExecutionError:
+        """A per-handle exception naming the job (never a shared object)."""
+        if isinstance(exc, BatchExecutionError) and exc.job_id == handle.id:
+            return exc
+        label = f" ({handle.job.label})" if handle.job.label else ""
+        error = BatchExecutionError(
+            f"job #{handle.id}{label} failed in a coalesced batch of "
+            f"{batch_size}: {exc}",
+            job_id=handle.id,
+            label=handle.job.label,
+            batch_size=batch_size,
+        )
+        error.__cause__ = exc
+        return error
+
+    def _execute_batch(self, jobs: list[tuple]) -> None:
+        """One planner pass over ``jobs``; exceptions propagate to the
+        supervisor (:meth:`_try_batch`) with the affected futures left
+        unresolved for retry or isolation."""
+        faults.poison_fault(
+            [job[0].job.label for job in jobs], site="scheduler.batch"
+        )
+        handles = [handle for handle, _, _ in jobs]
+        engine = self._engine_for(handles[0].config)
+        owners: list[tuple[int, int]] = []  # global index -> (job, local)
+        for position, (_, _, workloads) in enumerate(jobs):
+            owners.extend((position, local) for local in range(len(workloads)))
+        sources = [w.spikes for _, _, workloads in jobs for w in workloads]
+        cache = engine.cache
+        hits0 = cache.hits if cache else 0
+        misses0 = cache.misses if cache else 0
+        profile0 = dict(getattr(engine.backend, "profile", None) or {})
+        counters0 = engine.backend.failure_counters()
+        profile = {stage: 0.0 for stage in PLANNED_PROFILE_STAGES}
+        started = time.perf_counter()
+        assemblers = [
+            _ChunkAssembler(handle, started) if handle.streaming else None
+            for handle, _, _ in jobs
+        ]
+
+        def on_workload(index: int, records) -> None:
+            position, local = owners[index]
+            assembler = assemblers[position]
+            if assembler is None:
+                return
+            workload = jobs[position][2][local]
+            # Copy: the callback payload is a view of the batch-wide
+            # records array; a chunk a client retains must not pin
+            # every other client's records in memory.
+            records = records.copy()
+            assembler.add(
+                WorkloadRun(
+                    name=workload.name,
+                    kind=workload.kind,
+                    tiles=len(records),
+                    records=records,
+                    stats=stats_from_records(records),
+                    seconds=0.0,  # per-chunk kernel time is not attributed
+                )
+            )
+
+        streaming = any(assembler is not None for assembler in assemblers)
+        with engine.planner.exclusive():
+            plan = engine.planner.plan(
+                sources, engine.tile_m, engine.tile_k, profile=profile
+            )
+            per_workload = engine.planner.execute(
+                plan,
+                engine.backend,
+                cache=cache,
+                profile=profile,
+                on_workload=on_workload if streaming else None,
+            )
+        elapsed = time.perf_counter() - started
+        backend_profile = getattr(engine.backend, "profile", None)
+        if backend_profile:
+            for stage, seconds in backend_profile.items():
+                profile[stage] = (
+                    profile.get(stage, 0.0) + seconds - profile0.get(stage, 0.0)
+                )
+        cache_hits = (cache.hits - hits0) if cache else 0
+        cache_misses = (cache.misses - misses0) if cache else 0
+        counters1 = engine.backend.failure_counters()
+        pool_rebuilds = counters1.get("pool_rebuilds", 0) - counters0.get(
+            "pool_rebuilds", 0
+        )
+        backend_retries = counters1.get("retries", 0) - counters0.get("retries", 0)
+        degraded = counters1.get("degraded") if counters1 else None
+        total = plan.total_tiles
+        # Book the batch before delivering results: a client that
+        # wakes on its future must already see the serving counters.
+        self.batches += 1
+        if len(jobs) > 1:
+            self.jobs_coalesced += len(jobs)
+
+        offset = 0
+        for position, (handle, trace, workloads) in enumerate(jobs):
+            job_records = per_workload[offset : offset + len(workloads)]
+            offset += len(workloads)
+            report = EngineReport(
+                backend=engine.backend.name,
+                tile_m=engine.tile_m,
+                tile_k=engine.tile_k,
+                batch=handle.config.engine.batch,
+                model=trace.model,
+                dataset=trace.dataset,
+                workers=getattr(engine.backend, "workers", None),
+                plan="trace",  # coalesced batches are always trace-planned
+                planned_tiles=plan.total_tiles,
+                unique_tiles=plan.unique_tiles,
+                cache_hits=cache_hits,
+                cache_misses=cache_misses,
+                profile=dict(profile),
+                jit_active=getattr(engine.backend, "jit_active", None),
+                # Batch-scoped supervision deltas, like profile/cache.
+                pool_rebuilds=pool_rebuilds,
+                retries=backend_retries,
+                degraded=degraded,
+            )
+            job_tiles = 0
+            for workload, records in zip(workloads, job_records):
+                job_tiles += len(records)
+                # Copy out of the batch-wide records array: one
+                # client's retained result must only hold its own
+                # records, not the whole coalesced batch.
                 records = records.copy()
-                assembler.add(
+                report.runs.append(
                     WorkloadRun(
                         name=workload.name,
                         kind=workload.kind,
                         tiles=len(records),
                         records=records,
                         stats=stats_from_records(records),
-                        seconds=0.0,  # per-chunk kernel time is not attributed
+                        seconds=elapsed * (len(records) / total) if total else 0.0,
                     )
                 )
-
-            streaming = any(assembler is not None for assembler in assemblers)
-            with engine.planner.exclusive():
-                plan = engine.planner.plan(
-                    sources, engine.tile_m, engine.tile_k, profile=profile
+            verified = None
+            if handle.config.engine.verify:
+                verified = engine.verify_trace(trace)
+            assembler = assemblers[position]
+            if assembler is not None:
+                assembler.flush()
+            handle.future.set_result(
+                EngineRunResult(
+                    config=handle.config,
+                    seconds=elapsed * (job_tiles / total) if total else 0.0,
+                    report=report,
+                    verified=verified,
                 )
-                per_workload = engine.planner.execute(
-                    plan,
-                    engine.backend,
-                    cache=cache,
-                    profile=profile,
-                    on_workload=on_workload if streaming else None,
-                )
-            elapsed = time.perf_counter() - started
-            backend_profile = getattr(engine.backend, "profile", None)
-            if backend_profile:
-                for stage, seconds in backend_profile.items():
-                    profile[stage] = (
-                        profile.get(stage, 0.0) + seconds - profile0.get(stage, 0.0)
-                    )
-            cache_hits = (cache.hits - hits0) if cache else 0
-            cache_misses = (cache.misses - misses0) if cache else 0
-            total = plan.total_tiles
-            # Book the batch before delivering results: a client that
-            # wakes on its future must already see the serving counters.
-            self.batches += 1
-            if len(jobs) > 1:
-                self.jobs_coalesced += len(jobs)
-
-            offset = 0
-            for position, (handle, trace, workloads) in enumerate(jobs):
-                job_records = per_workload[offset : offset + len(workloads)]
-                offset += len(workloads)
-                report = EngineReport(
-                    backend=engine.backend.name,
-                    tile_m=engine.tile_m,
-                    tile_k=engine.tile_k,
-                    batch=handle.config.engine.batch,
-                    model=trace.model,
-                    dataset=trace.dataset,
-                    workers=getattr(engine.backend, "workers", None),
-                    plan="trace",  # coalesced batches are always trace-planned
-                    planned_tiles=plan.total_tiles,
-                    unique_tiles=plan.unique_tiles,
-                    cache_hits=cache_hits,
-                    cache_misses=cache_misses,
-                    profile=dict(profile),
-                    jit_active=getattr(engine.backend, "jit_active", None),
-                )
-                job_tiles = 0
-                for workload, records in zip(workloads, job_records):
-                    job_tiles += len(records)
-                    # Copy out of the batch-wide records array: one
-                    # client's retained result must only hold its own
-                    # records, not the whole coalesced batch.
-                    records = records.copy()
-                    report.runs.append(
-                        WorkloadRun(
-                            name=workload.name,
-                            kind=workload.kind,
-                            tiles=len(records),
-                            records=records,
-                            stats=stats_from_records(records),
-                            seconds=elapsed * (len(records) / total) if total else 0.0,
-                        )
-                    )
-                verified = None
-                if handle.config.engine.verify:
-                    verified = engine.verify_trace(trace)
-                assembler = assemblers[position]
-                if assembler is not None:
-                    assembler.flush()
-                handle.future.set_result(
-                    EngineRunResult(
-                        config=handle.config,
-                        seconds=elapsed * (job_tiles / total) if total else 0.0,
-                        report=report,
-                        verified=verified,
-                    )
-                )
-                handle._finish_stream()
-        except BaseException as exc:  # noqa: BLE001 - delivered via the futures
-            for handle in handles:
-                if not handle.future.done():
-                    handle.future.set_exception(exc)
-                handle._finish_stream()
+            )
+            handle._finish_stream()

@@ -50,7 +50,7 @@ import numpy as np
 from repro.analysis.density import DensityReport, density_report
 from repro.analysis.sweep import SweepPoint, sweep_tile_sizes
 from repro.analysis.tradeoff import TradeoffResult, evaluate_tradeoff
-from repro.api.config import RunConfig
+from repro.api.config import RunConfig, engine_backend_options
 from repro.arch.config import DEFAULT_CONFIG
 from repro.arch.report import SimReport
 from repro.arch.scaling import ScalingPoint, scaling_study
@@ -62,6 +62,7 @@ from repro.engine import (
     EngineReport,
     ProsperityEngine,
     WorkloadRun,
+    faults,
     get_backend,
 )
 from repro.snn.trace import ModelTrace
@@ -244,6 +245,11 @@ class Session:
         self._lock = threading.RLock()
         self._closed = False
         self._draining = False
+        # A configured fault plan activates the deterministic injection
+        # harness for this process (off when the spec is empty) — same
+        # seam as Scheduler, so `repro run` chaos drills work too.
+        if self.config.resilience.faults:
+            faults.install(self.config.resilience.faults)
 
     @classmethod
     def from_file(cls, path: str | Path, sets: list[str] | None = None) -> "Session":
@@ -261,7 +267,11 @@ class Session:
             self._check_open()
             if self._backend is None:
                 self._backend = get_backend(
-                    self.config.engine.backend, workers=self.config.engine.workers
+                    self.config.engine.backend,
+                    workers=self.config.engine.workers,
+                    # [resilience] supervision knobs for backends that
+                    # take them (sharded pool rebuild budget / degrade).
+                    **engine_backend_options(self.config),
                 )
             return self._backend
 
@@ -472,7 +482,7 @@ class Session:
                 self._scheduler = scheduler
             return self._scheduler
 
-    def submit(self, kind: str) -> Future:
+    def submit(self, kind: str, timeout: float | None = None) -> Future:
         """Queue an experiment for asynchronous execution.
 
         ``kind`` names any experiment method (``"run"``, ``"simulate"``,
@@ -484,12 +494,18 @@ class Session:
         into one planner batch. The returned
         :class:`concurrent.futures.Future` resolves to the same
         :class:`RunResult` objects the direct calls return.
+
+        ``timeout`` bounds the wait for queue space (admission control):
+        when it elapses the submission raises
+        :class:`~repro.api.scheduler.SchedulerSaturated` instead of
+        blocking further; ``None`` defers to the config's
+        ``resilience.overload_policy``.
         """
         if kind not in self._QUEUEABLE:
             raise ValueError(
                 f"unknown experiment {kind!r}; expected one of {self._QUEUEABLE}"
             )
-        return self.scheduler.submit(kind).future
+        return self.scheduler.submit(kind, timeout=timeout).future
 
     def stream(self, chunk: int | None = None) -> Iterator[RunChunk]:
         """Stream an engine run as per-workload chunks, then the result.

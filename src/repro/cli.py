@@ -235,6 +235,16 @@ def cmd_run(config: RunConfig, session: Session) -> str:
     )
     if report.workers is not None:
         footer += f"\nworkers: {report.workers}"
+    if report.pool_rebuilds or report.retries:
+        footer += (
+            f"\nresilience: {report.pool_rebuilds} pool rebuild(s), "
+            f"{report.retries} retried dispatch(es)"
+        )
+    if report.degraded:
+        footer += (
+            "\ndegraded: sharded pool rebuild budget exhausted — "
+            "running the in-process fused path"
+        )
     if report.jit_active is not None:
         footer += (
             "\njit: active (numba kernels)"
@@ -314,6 +324,27 @@ def cmd_batch(args: argparse.Namespace) -> int:
             f"{scheduler.jobs_coalesced} coalesced across {scheduler.batches} "
             f"planner batch(es); pools spawned: {scheduler.pools_spawned}"
         )
+        # Resilience counters appear only when something actually
+        # happened, so the healthy-path footer stays byte-stable.
+        stats = scheduler.stats
+        incidents = [
+            (key, stats[key])
+            for key in (
+                "jobs_retried",
+                "isolation_reruns",
+                "jobs_shed",
+                "jobs_expired",
+                "pool_rebuilds",
+            )
+            if stats[key]
+        ]
+        if incidents or stats["degraded"]:
+            parts = [
+                f"{key.replace('_', ' ')}: {value}" for key, value in incidents
+            ]
+            if stats["degraded"]:
+                parts.append("degraded: pool unavailable, in-process fallback")
+            footer += "\nresilience: " + ", ".join(parts)
     table = format_table(
         ["config", "kind", "workload", "backend", "result", "wall"],
         rows,

@@ -22,8 +22,9 @@ from repro.engine.backends import (
     register_backend,
 )
 from repro.engine.compiled import CompiledBackend
+from repro.engine.faults import FaultInjected, FaultPlan, FaultSpec
 from repro.engine.fused import FusedBackend
-from repro.engine.parallel import ShardedBackend
+from repro.engine.parallel import PoolBrokenError, ShardedBackend
 from repro.engine.planner import (
     PLAN_MODES,
     BufferArena,
@@ -43,8 +44,12 @@ __all__ = [
     "Backend",
     "BufferArena",
     "CompiledBackend",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
     "FusedBackend",
     "PLAN_MODES",
+    "PoolBrokenError",
     "ReferenceBackend",
     "ShardedBackend",
     "TracePlan",

@@ -98,6 +98,17 @@ class Backend(ABC):
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def failure_counters(self) -> dict:
+        """Lifetime supervision counters for this backend.
+
+        Supervised backends (``sharded``) report ``pool_rebuilds`` /
+        ``retries`` / ``degraded``; the base returns an empty dict so
+        callers can snapshot-and-diff uniformly (see
+        ``ProsperityEngine.run``, which surfaces per-run deltas in
+        ``EngineReport``).
+        """
+        return {}
+
     # -- transform ------------------------------------------------------
     @abstractmethod
     def forest(self, tile: SpikeTile) -> ProSparsityForest:

@@ -1,0 +1,387 @@
+"""Deterministic fault injection for resilience testing.
+
+The serving stack (``ShardedBackend`` pool supervision, scheduler
+retry/isolation, admission control) must be provable in tests and CI,
+not only under real crashes.  This module provides a tiny, deterministic
+harness: a *fault plan* names failure points that the engine checks at
+well-known sites, and every check is inert — one global load and an
+identity comparison — unless a plan is active.
+
+Activation
+----------
+A plan comes from either :func:`install` (programmatic, also used by the
+``[resilience]`` config section) or the ``REPRO_FAULTS`` environment
+variable.  The env var is the source of truth shared with worker
+processes: ``ShardedBackend`` workers are forked children, so a plan
+installed in the parent is visible to every worker it spawns, and
+:func:`consume` rewrites the env var as faults burn out so *rebuilt*
+pools spawn clean workers.
+
+Spec grammar
+------------
+Comma-separated specs, each ``kind[:key=value]*``::
+
+    worker_crash                      # first pooled task kills its worker
+    worker_crash:after=2:times=1      # let 2 tasks through, then crash once
+    slow_kernel:seconds=0.05          # sleep before one kernel dispatch
+    engine_error:times=2              # raise a *transient* FaultInjected twice
+    poison_job:match=bad              # jobs whose label contains "bad" always fail
+
+``worker_crash``, ``slow_kernel`` and ``engine_error`` burn out after
+``times`` triggers (0 = unlimited); ``poison_job`` is persistent — it
+models a request that deterministically breaks the engine, so retrying
+it never helps and the scheduler must isolate it instead.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = [
+    "ENV_VAR",
+    "FAULT_KINDS",
+    "WORKER_CRASH_EXIT",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "clear",
+    "consume",
+    "injected",
+    "install",
+    "kernel_fault",
+    "poison_fault",
+    "refresh",
+    "worker_tick",
+]
+
+#: Environment variable holding the serialized fault plan.  Forked
+#: worker processes inherit it, which is how ``worker_crash`` reaches
+#: the pool children without any extra plumbing.
+ENV_VAR = "REPRO_FAULTS"
+
+#: Exit code used by ``worker_crash`` so a harness-induced death is
+#: distinguishable from a genuine crash in pool post-mortems.
+WORKER_CRASH_EXIT = 87
+
+#: Failure points the harness understands.
+FAULT_KINDS = ("worker_crash", "slow_kernel", "engine_error", "poison_job")
+
+#: Keys each spec accepts beyond its kind, with their coercions.
+_SPEC_KEYS = {"after": int, "times": int, "seconds": float, "match": str}
+
+
+class FaultInjected(RuntimeError):
+    """An injected failure fired at one of the harness sites.
+
+    ``transient`` mirrors the classification the scheduler's retry
+    policy uses: transient faults (``engine_error``) model recoverable
+    conditions and are retried; persistent ones (``poison_job``) model
+    request-poisoned state and are isolated instead.
+    """
+
+    def __init__(self, message: str, *, site: str = "", transient: bool = False):
+        super().__init__(message)
+        self.site = site
+        self.transient = transient
+
+
+@dataclass
+class FaultSpec:
+    """One failure point: kind plus trigger bookkeeping."""
+
+    kind: str
+    after: int = 0  # calls to let through before the first trigger
+    times: int = 1  # triggers before burning out (0 = unlimited)
+    seconds: float = 0.0  # slow_kernel sleep duration
+    match: str = ""  # poison_job label substring
+    fired: int = field(default=0, compare=False)  # triggers so far
+    skipped: int = field(default=0, compare=False)  # pass-throughs so far
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known kinds: "
+                + ", ".join(FAULT_KINDS)
+            )
+        if self.after < 0:
+            raise ValueError(f"fault {self.kind}: after must be >= 0, got {self.after}")
+        if self.times < 0:
+            raise ValueError(f"fault {self.kind}: times must be >= 0, got {self.times}")
+        if self.seconds < 0:
+            raise ValueError(
+                f"fault {self.kind}: seconds must be >= 0, got {self.seconds}"
+            )
+        if self.kind == "poison_job" and not self.match:
+            raise ValueError("fault poison_job requires match=<label substring>")
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse one ``kind[:key=value]*`` spec."""
+        head, *options = text.strip().split(":")
+        values: dict[str, object] = {}
+        for option in options:
+            key, separator, raw = option.partition("=")
+            if not separator or key not in _SPEC_KEYS:
+                raise ValueError(
+                    f"bad fault option {option!r} in {text!r}; expected "
+                    "key=value with key in " + ", ".join(sorted(_SPEC_KEYS))
+                )
+            try:
+                values[key] = _SPEC_KEYS[key](raw)
+            except ValueError as error:
+                raise ValueError(
+                    f"bad fault option value {option!r} in {text!r}: {error}"
+                ) from None
+        return cls(kind=head, **values)  # type: ignore[arg-type]
+
+    @property
+    def exhausted(self) -> bool:
+        return self.times > 0 and self.fired >= self.times
+
+    def should_fire(self) -> bool:
+        """Advance the trigger bookkeeping for one check at this site."""
+        if self.exhausted:
+            return False
+        if self.skipped < self.after:
+            self.skipped += 1
+            return False
+        self.fired += 1
+        return True
+
+    def to_text(self) -> str:
+        """Serialize the *remaining* budget (triggers already fired are
+        subtracted) so the env var always describes faults still armed."""
+        parts = [self.kind]
+        if self.after:
+            parts.append(f"after={self.after}")
+        remaining = self.times - self.fired if self.times > 0 else 0
+        if self.times > 0 and remaining != 1:
+            parts.append(f"times={remaining}")
+        if self.seconds:
+            parts.append(f"seconds={self.seconds}")
+        if self.match:
+            parts.append(f"match={self.match}")
+        return ":".join(parts)
+
+
+class FaultPlan:
+    """An active set of fault specs, at most one per kind."""
+
+    def __init__(self, specs: Iterable[FaultSpec]):
+        self.specs: dict[str, FaultSpec] = {}
+        for spec in specs:
+            if spec.kind in self.specs:
+                raise ValueError(f"duplicate fault kind {spec.kind!r} in plan")
+            self.specs[spec.kind] = spec
+
+    @classmethod
+    def parse(cls, text: str | None) -> "FaultPlan | None":
+        """Parse a comma-separated plan; empty/blank text means no plan."""
+        if not text or not text.strip():
+            return None
+        specs = [FaultSpec.parse(part) for part in text.split(",") if part.strip()]
+        return cls(specs) if specs else None
+
+    def get(self, kind: str) -> FaultSpec | None:
+        return self.specs.get(kind)
+
+    def to_text(self) -> str:
+        """Remaining armed faults as a spec string (may be empty)."""
+        return ",".join(
+            spec.to_text() for spec in self.specs.values() if not spec.exhausted
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.to_text()!r})"
+
+
+# Module state: _UNSET means "not yet resolved from the environment";
+# None means "resolved, no faults" — the steady state every hot-path
+# check short-circuits on with a single identity comparison.
+_UNSET: object = object()
+_PLAN: "FaultPlan | None | object" = _UNSET
+_LOCK = threading.Lock()
+
+# Per-process worker-side state (each forked pool worker re-resolves its
+# crash spec lazily from the inherited environment on its first task).
+_WORKER: dict[str, object] = {"count": 0, "spec": _UNSET}
+
+
+def _sync_env(plan: "FaultPlan | None") -> None:
+    """Mirror the plan's remaining budget into ``REPRO_FAULTS`` so
+    workers forked *after* this point see only faults still armed."""
+    text = plan.to_text() if plan is not None else ""
+    if text:
+        os.environ[ENV_VAR] = text
+    else:
+        os.environ.pop(ENV_VAR, None)
+
+
+def _reset_worker_state() -> None:
+    """Invalidate the lazily-resolved worker-side spec.
+
+    Pool workers are *forked*, so they inherit this module's state —
+    including a ``_WORKER`` cache resolved before the current plan was
+    installed. Resetting on every plan change makes children forked
+    from here re-resolve from the (just-synced) environment.
+    """
+    _WORKER["count"] = 0
+    _WORKER["spec"] = _UNSET
+
+
+def active_plan() -> "FaultPlan | None":
+    """The process-wide plan, resolving ``REPRO_FAULTS`` on first use."""
+    global _PLAN
+    plan = _PLAN
+    if plan is _UNSET:
+        with _LOCK:
+            if _PLAN is _UNSET:
+                _PLAN = FaultPlan.parse(os.environ.get(ENV_VAR))
+            plan = _PLAN
+    return plan  # type: ignore[return-value]
+
+
+def install(spec: "str | FaultPlan | None") -> "FaultPlan | None":
+    """Activate a fault plan (spec string or plan) and sync the env.
+
+    Installing an empty/None spec clears any active plan.
+    """
+    global _PLAN
+    plan = FaultPlan.parse(spec) if isinstance(spec, str) or spec is None else spec
+    with _LOCK:
+        _PLAN = plan
+        _sync_env(plan)
+        _reset_worker_state()
+    return plan
+
+
+def clear() -> None:
+    """Deactivate fault injection and scrub ``REPRO_FAULTS``."""
+    install(None)
+
+
+def refresh() -> "FaultPlan | None":
+    """Drop cached state and re-resolve the plan from the environment."""
+    global _PLAN
+    with _LOCK:
+        _PLAN = _UNSET
+        _reset_worker_state()
+    return active_plan()
+
+
+@contextmanager
+def injected(spec: str) -> Iterator["FaultPlan | None"]:
+    """Context manager: install a plan, restore prior state on exit."""
+    global _PLAN
+    previous_plan = _PLAN
+    previous_env = os.environ.get(ENV_VAR)
+    plan = install(spec)
+    try:
+        yield plan
+    finally:
+        with _LOCK:
+            _PLAN = previous_plan
+            if previous_env is None:
+                os.environ.pop(ENV_VAR, None)
+            else:
+                os.environ[ENV_VAR] = previous_env
+            _reset_worker_state()
+
+
+def consume(kind: str) -> None:
+    """Burn one trigger of ``kind`` from the parent-side plan.
+
+    Called by supervisors after *recovering* from a fault whose trigger
+    fired in another process (a crashed pool worker cannot decrement the
+    parent's budget itself).  Re-syncs the env var so pools rebuilt from
+    here fork clean workers once the fault's budget is spent.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    with _LOCK:
+        spec = plan.get(kind)
+        if spec is not None:
+            spec.fired += 1
+        _sync_env(plan)
+
+
+# ---------------------------------------------------------------------------
+# Hot-path checks.  Each has a one-comparison fast path (``_PLAN is
+# None``) so disabled fault injection costs nothing measurable; the
+# slow halves live in separate functions to keep the inert path tiny.
+# ---------------------------------------------------------------------------
+
+
+def kernel_fault(site: str = "kernel") -> None:
+    """Check the ``slow_kernel`` / ``engine_error`` points at ``site``."""
+    if _PLAN is None:
+        return
+    _kernel_fault_armed(site)
+
+
+def _kernel_fault_armed(site: str) -> None:
+    plan = active_plan()
+    if plan is None:
+        return
+    slow = plan.get("slow_kernel")
+    if slow is not None and slow.should_fire():
+        time.sleep(slow.seconds)
+        _sync_env(plan)
+    error = plan.get("engine_error")
+    if error is not None and error.should_fire():
+        _sync_env(plan)
+        raise FaultInjected(
+            f"injected engine error at {site}", site=site, transient=True
+        )
+
+
+def poison_fault(labels: Iterable[str], site: str = "scheduler") -> None:
+    """Check the ``poison_job`` point against a batch's job labels."""
+    if _PLAN is None:
+        return
+    _poison_fault_armed(labels, site)
+
+
+def _poison_fault_armed(labels: Iterable[str], site: str) -> None:
+    plan = active_plan()
+    if plan is None:
+        return
+    spec = plan.get("poison_job")
+    if spec is None:
+        return
+    for label in labels:
+        if label and spec.match in label:
+            spec.fired += 1
+            raise FaultInjected(
+                f"injected poison for job {label!r} at {site}",
+                site=site,
+                transient=False,
+            )
+
+
+def worker_tick() -> None:
+    """Per-task check inside a pool worker; kills the process when the
+    inherited ``worker_crash`` spec triggers.
+
+    Worker processes are forked, so this resolves the spec from the
+    environment snapshot taken at fork time — a pool rebuilt after
+    :func:`consume` spent the budget forks crash-free workers.
+    """
+    state = _WORKER
+    if state["spec"] is _UNSET:
+        plan = FaultPlan.parse(os.environ.get(ENV_VAR))
+        state["spec"] = plan.get("worker_crash") if plan is not None else None
+    spec = state["spec"]
+    if spec is None:
+        return
+    count = int(state["count"]) + 1  # type: ignore[call-overload]
+    state["count"] = count
+    if count > spec.after:  # type: ignore[union-attr]
+        os._exit(WORKER_CRASH_EXIT)

@@ -42,6 +42,7 @@ import time
 import numpy as np
 
 from repro.core.forest import NO_PREFIX
+from repro.engine import faults
 from repro.core.prosparsity import TILE_RECORD_FIELDS
 from repro.core.spike_matrix import SpikeMatrix, SpikeTile
 from repro.engine.backends import (
@@ -446,6 +447,7 @@ class FusedBackend(VectorizedBackend):
         self, codes: np.ndarray, popcounts: np.ndarray, k: int
     ) -> np.ndarray:
         """Kernel dispatch for one deduplicated stack (sharding seam)."""
+        faults.kernel_fault("fused.compute_records")
         return records_from_codes_batch(codes, popcounts, k, profile=self.profile)
 
     def matrix_records(

@@ -223,6 +223,15 @@ class EngineReport:
     #: kernel, False when it fell back to the fused NumPy path; ``None``
     #: for backends without a JIT notion.
     jit_active: bool | None = None
+    #: Supervision deltas for this run (``sharded`` backend): worker
+    #: pools rebuilt after ``BrokenProcessPool`` and kernel dispatches
+    #: retried during the run. Zero for unsupervised backends.
+    pool_rebuilds: int = 0
+    retries: int = 0
+    #: ``sharded`` only: True once the rebuild budget was exhausted and
+    #: the backend fell back to the in-process fused path (mirrors
+    #: ``jit_active`` semantics); ``None`` for unsupervised backends.
+    degraded: bool | None = None
 
     @property
     def total_tiles(self) -> int:
@@ -277,6 +286,13 @@ class ProsperityEngine:
     workers:
         Process count for the ``sharded`` backend (rejected by backends
         that do not take it; ``None`` leaves the backend default).
+    backend_options:
+        Extra constructor options for name-constructed backends (e.g.
+        the ``sharded`` supervision knobs ``max_rebuilds``/``degrade``
+        from the ``[resilience]`` config section). ``None`` values are
+        dropped; options a backend does not accept are rejected with
+        the same typed error as :func:`~repro.engine.backends.
+        get_backend`. Ignored for caller-supplied instances.
     plan:
         Execution-planning mode: ``"matrix"`` batches per matrix (the
         classic fused path), ``"trace"`` routes whole-trace runs and
@@ -294,13 +310,15 @@ class ProsperityEngine:
         cache_size: int = 1024,
         workers: int | None = None,
         plan: str = "matrix",
+        backend_options: dict | None = None,
     ):
         validate_tile_shape(tile_m, tile_k)
         # Ownership rule: backends constructed here (from a name) are
         # ours to close; caller-supplied instances stay open for their
         # other users.
         self._owns_backend = not isinstance(backend, Backend)
-        self.backend = get_backend(backend, workers=workers)
+        options = dict(backend_options or {}) if self._owns_backend else {}
+        self.backend = get_backend(backend, workers=workers, **options)
         self.tile_m = tile_m
         self.tile_k = tile_k
         self.cache = ForestCache(cache_size) if cache_size else None
@@ -560,6 +578,7 @@ class ProsperityEngine:
         hits0 = self.cache.hits if self.cache else 0
         misses0 = self.cache.misses if self.cache else 0
         profile0 = dict(getattr(self.backend, "profile", None) or {})
+        counters0 = self.backend.failure_counters()
         if plan == "trace":
             self._run_planned(workloads, report, profile0)
         else:
@@ -571,6 +590,15 @@ class ProsperityEngine:
         # compiled backend to its fallback mid-run, and the report should
         # describe what actually executed.
         report.jit_active = getattr(self.backend, "jit_active", None)
+        # Supervision counters are backend-lifetime totals; the report
+        # carries this run's deltas (degraded is a state, not a delta).
+        counters1 = self.backend.failure_counters()
+        if counters1:
+            report.pool_rebuilds = counters1.get("pool_rebuilds", 0) - counters0.get(
+                "pool_rebuilds", 0
+            )
+            report.retries = counters1.get("retries", 0) - counters0.get("retries", 0)
+            report.degraded = counters1.get("degraded")
         return report
 
     def _run_batched(

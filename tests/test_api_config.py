@@ -336,3 +336,73 @@ class TestWithSets:
     def test_bad_bool(self):
         with pytest.raises(ValueError, match="boolean"):
             RunConfig().with_sets(["engine.verify=maybe"])
+
+
+class TestResilienceSection:
+    def test_defaults(self):
+        res = RunConfig().resilience
+        assert res.overload_policy == "block"
+        assert res.shed_timeout_ms == 100.0
+        assert res.deadline_ms == 0.0
+        assert res.retries == 1
+        assert res.retry_backoff_ms == 10.0
+        assert res.max_pool_rebuilds == 2
+        assert res.degrade_on_pool_failure is True
+        assert res.faults == ""
+
+    def test_overrides_and_round_trip(self):
+        cfg = RunConfig().with_overrides({
+            "resilience.overload_policy": "shed",
+            "resilience.shed_timeout_ms": 250.0,
+            "resilience.deadline_ms": 5000.0,
+            "resilience.retries": 3,
+            "resilience.max_pool_rebuilds": 0,
+            "resilience.degrade_on_pool_failure": False,
+            "resilience.faults": "engine_error:times=2",
+        })
+        assert RunConfig.from_dict(cfg.to_dict()) == cfg
+
+    @pytest.mark.skipif(tomllib is None, reason="no TOML reader")
+    def test_toml_section_round_trip(self, tmp_path):
+        cfg = RunConfig().with_overrides({
+            "resilience.overload_policy": "shed",
+            "resilience.faults": "poison_job:match=bad",
+        })
+        path = cfg.to_file(tmp_path / "run.toml")
+        loaded = RunConfig.from_file(path)
+        assert loaded == cfg
+        assert loaded.resilience.faults == "poison_job:match=bad"
+        parsed = tomllib.loads(cfg.to_toml())
+        assert parsed["resilience"]["overload_policy"] == "shed"
+
+    def test_with_sets_coercion(self):
+        cfg = RunConfig().with_sets([
+            "resilience.overload_policy=shed",
+            "resilience.shed_timeout_ms=75",
+            "resilience.retries=0",
+            "resilience.degrade_on_pool_failure=false",
+        ])
+        assert cfg.resilience.overload_policy == "shed"
+        assert cfg.resilience.shed_timeout_ms == 75.0
+        assert cfg.resilience.retries == 0
+        assert cfg.resilience.degrade_on_pool_failure is False
+
+    def test_bad_overload_policy(self):
+        with pytest.raises(ValueError, match="unknown overload_policy"):
+            RunConfig().with_overrides({"resilience.overload_policy": "panic"})
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError, match="shed_timeout_ms"):
+            RunConfig().with_overrides({"resilience.shed_timeout_ms": -1.0})
+        with pytest.raises(ValueError, match="deadline_ms"):
+            RunConfig().with_overrides({"resilience.deadline_ms": -1.0})
+        with pytest.raises(ValueError, match="retries must be >= 0"):
+            RunConfig().with_overrides({"resilience.retries": -1})
+        with pytest.raises(ValueError, match="max_pool_rebuilds"):
+            RunConfig().with_overrides({"resilience.max_pool_rebuilds": -1})
+
+    def test_bad_fault_spec_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            RunConfig().with_overrides({"resilience.faults": "meteor_strike"})
+        with pytest.raises(ValueError, match="requires match"):
+            RunConfig().with_overrides({"resilience.faults": "poison_job"})

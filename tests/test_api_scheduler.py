@@ -25,6 +25,7 @@ from repro.api import (
     RunConfig,
     Scheduler,
     Session,
+    StreamTimeoutError,
 )
 
 LENET = {
@@ -296,6 +297,39 @@ class TestStreaming:
             handle.result()
             with pytest.raises(RuntimeError, match="stream=True"):
                 handle.next_chunk()
+
+    def test_next_chunk_timeout_is_a_timeout_error(self):
+        """The documented contract: a timed-out ``next_chunk`` raises
+        ``TimeoutError`` (same family as ``result(timeout=)``)."""
+        cfg = lenet_config(**{"engine.backend": "fused"})
+        scheduler = Scheduler(cfg, coalesce_window_ms=5000)
+        try:
+            handle = scheduler.submit("run", stream=True)
+            with pytest.raises(TimeoutError) as err:
+                handle.next_chunk(timeout=0.05)
+            assert isinstance(err.value, StreamTimeoutError)
+            assert f"#{handle.id}" in str(err.value)
+            handle.cancel()
+        finally:
+            scheduler.close(wait=False)
+
+    def test_next_chunk_timeout_still_catches_as_queue_empty(self):
+        """Deprecation bridge (one release): pre-1.4 callers caught
+        ``queue.Empty``; that except clause must keep working."""
+        import queue
+
+        cfg = lenet_config(**{"engine.backend": "fused"})
+        scheduler = Scheduler(cfg, coalesce_window_ms=5000)
+        try:
+            handle = scheduler.submit("run", stream=True)
+            try:
+                handle.next_chunk(timeout=0.05)
+                raise AssertionError("expected a timeout")
+            except queue.Empty as exc:
+                assert isinstance(exc, StreamTimeoutError)
+            handle.cancel()
+        finally:
+            scheduler.close(wait=False)
 
 
 class TestSharedResources:
