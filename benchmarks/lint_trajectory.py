@@ -1,0 +1,99 @@
+"""Strict lint for the committed perf trajectory (``BENCH_engine.json``).
+
+The benchmark suite's loader (``_load_history`` in
+``test_engine_throughput.py``) *tolerates* malformed records — it skips
+them with a warning so one bad merge cannot disarm the whole regression
+guard. CI, by contrast, should refuse to land a malformed trajectory at
+all: this script applies the same entry schema strictly and exits
+non-zero listing every problem. Stdlib-only on purpose, so the lint job
+can run it without installing the package.
+
+Usage::
+
+    python benchmarks/lint_trajectory.py [path/to/BENCH_engine.json]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+#: Mirrors ``ENTRY_REQUIRED`` in test_engine_throughput.py (kept
+#: stdlib-only here so the lint needs no package imports).
+ENTRY_REQUIRED = (("workload", str), ("backend", str), ("tiles_per_sec", (int, float)))
+
+RECORD_REQUIRED = (("sha", str), ("quick", bool), ("entries", list))
+
+
+def entry_problems(entry, where: str) -> list[str]:
+    if not isinstance(entry, dict):
+        return [f"{where}: entry is not an object: {entry!r}"]
+    problems = []
+    for name, kind in ENTRY_REQUIRED:
+        value = entry.get(name)
+        if isinstance(value, bool) or not isinstance(value, kind):
+            problems.append(f"{where}: bad {name!r}: {value!r}")
+    return problems
+
+
+def lint(path: pathlib.Path) -> list[str]:
+    """Every schema violation in ``path`` (empty list = clean)."""
+    if not path.exists():
+        return []  # no trajectory yet is a valid state (fresh repo)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"cannot parse: {error}"]
+    if not isinstance(data, dict) or not isinstance(data.get("history"), list):
+        return ["top level must be an object with a 'history' list (schema 2)"]
+    if data.get("schema") != 2:
+        return [f"bad schema marker: {data.get('schema')!r} (expected 2)"]
+    problems: list[str] = []
+    seen_keys: set[tuple] = set()
+    for position, record in enumerate(data["history"]):
+        where = f"history[{position}]"
+        if not isinstance(record, dict):
+            problems.append(f"{where}: record is not an object: {record!r}")
+            continue
+        for name, kind in RECORD_REQUIRED:
+            value = record.get(name)
+            if not isinstance(value, kind) or (
+                kind is not bool and isinstance(value, bool)
+            ):
+                problems.append(f"{where}: bad {name!r}: {value!r}")
+        key = (record.get("sha"), record.get("date"))
+        if key in seen_keys:
+            problems.append(f"{where}: duplicate (sha, date) key {key!r}")
+        seen_keys.add(key)
+        if not isinstance(record.get("entries"), list):
+            continue
+        entry_keys: set[tuple] = set()
+        for index, entry in enumerate(record["entries"]):
+            problems.extend(entry_problems(entry, f"{where}.entries[{index}]"))
+            if isinstance(entry, dict):
+                entry_key = (entry.get("workload"), entry.get("backend"))
+                if entry_key in entry_keys:
+                    problems.append(
+                        f"{where}.entries[{index}]: duplicate "
+                        f"(workload, backend) key {entry_key!r}"
+                    )
+                entry_keys.add(entry_key)
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    default = pathlib.Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+    path = pathlib.Path(argv[1]) if len(argv) > 1 else default
+    problems = lint(path)
+    for problem in problems:
+        print(f"{path}: {problem}", file=sys.stderr)
+    if problems:
+        print(f"{path}: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"{path}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -117,13 +117,66 @@ def _git_sha() -> str:
     return f"{sha}-dirty" if dirty else sha
 
 
+#: Minimum entry shape the regression guard relies on; everything else
+#: in an entry is provenance and passes through untouched.
+ENTRY_REQUIRED = (("workload", str), ("backend", str), ("tiles_per_sec", (int, float)))
+
+
+def entry_problem(entry) -> str | None:
+    """Why ``entry`` cannot feed the regression guard, or ``None``."""
+    if not isinstance(entry, dict):
+        return f"not an object: {entry!r}"
+    for name, kind in ENTRY_REQUIRED:
+        value = entry.get(name)
+        if isinstance(value, bool) or not isinstance(value, kind):
+            return f"bad {name!r}: {value!r}"
+    return None
+
+
+def _sanitize_history(history: list) -> list[dict]:
+    """Drop malformed records/entries with a warning.
+
+    A hand-edited or badly-merged trajectory must not poison the
+    regression guard (KeyError mid-compare) or be silently re-written
+    as-is by the next append; ``benchmarks/lint_trajectory.py`` is the
+    strict CI-facing version of the same rules.
+    """
+    clean = []
+    for record in history:
+        if not isinstance(record, dict) or not isinstance(
+            record.get("entries"), list
+        ):
+            warnings.warn(
+                f"{BENCH_TRAJECTORY}: skipping malformed history record: "
+                f"{record!r}",
+                stacklevel=3,
+            )
+            continue
+        entries = []
+        for entry in record["entries"]:
+            problem = entry_problem(entry)
+            if problem is None:
+                entries.append(entry)
+            else:
+                warnings.warn(
+                    f"{BENCH_TRAJECTORY}: skipping malformed entry "
+                    f"({problem}) in record {record.get('sha')!r}",
+                    stacklevel=3,
+                )
+        clean.append(dict(record, entries=entries))
+    return clean
+
+
 def _load_history() -> list[dict]:
     """Trajectory history, migrating the flat schema-1 layout in place.
 
     A present-but-unparsable file raises instead of returning ``[]``:
     silently starting an empty history would both disarm the regression
     guard and overwrite (destroy) every committed record on the next
-    append. Only a genuinely absent file starts fresh.
+    append. Only a genuinely absent file starts fresh. Records/entries
+    that parse but do not satisfy the entry schema are skipped with a
+    warning (they cannot feed the guard, but must not sink the rest of
+    the history with them).
     """
     if not BENCH_TRAJECTORY.exists():
         return []
@@ -135,17 +188,19 @@ def _load_history() -> list[dict]:
             "refusing to overwrite the perf history — fix or remove the "
             "file (e.g. resolve merge-conflict markers) and re-run"
         ) from error
-    if isinstance(data, dict) and "history" in data:
-        return list(data["history"])
+    if isinstance(data, dict) and isinstance(data.get("history"), list):
+        return _sanitize_history(data["history"])
     if isinstance(data, dict) and "entries" in data:  # schema 1 (PR 2)
-        return [
-            {
-                "sha": "pre-history",
-                "date": None,
-                "quick": data.get("quick", False),
-                "entries": data["entries"],
-            }
-        ]
+        return _sanitize_history(
+            [
+                {
+                    "sha": "pre-history",
+                    "date": None,
+                    "quick": data.get("quick", False),
+                    "entries": data["entries"],
+                }
+            ]
+        )
     raise RuntimeError(
         f"{BENCH_TRAJECTORY} has an unrecognized layout; refusing to "
         "overwrite the perf history"

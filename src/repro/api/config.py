@@ -58,9 +58,11 @@ from repro.engine.backends import (
 )
 from repro.engine.faults import FaultPlan
 from repro.engine.planner import validate_plan_mode
+from repro.engine.store import VERIFY_POLICIES
 from repro.workloads import PRESETS
 
 __all__ = [
+    "CacheConfig",
     "EngineConfig",
     "OVERLOAD_POLICIES",
     "ResilienceConfig",
@@ -188,6 +190,26 @@ class ResilienceConfig:
     faults: str = ""
 
 
+@dataclass(frozen=True)
+class CacheConfig:
+    """Persistent result store (:mod:`repro.engine.store`).
+
+    ``enabled`` turns the durable digest→records tier on (off by
+    default — the in-memory ``engine.cache_size`` LRU is unaffected
+    either way). ``path`` is the store root; empty means the user cache
+    directory (``REPRO_STORE_DIR`` overrides it). ``max_bytes`` bounds
+    the store on disk — publishes past the budget evict
+    least-recently-used entries (0 = unbounded). ``verify`` is the read
+    policy: ``"checksum"`` (default) validates every entry and
+    quarantines corruption, ``"off"`` trusts published bytes.
+    """
+
+    enabled: bool = False
+    path: str = ""
+    max_bytes: int = 256 * 1024 * 1024
+    verify: str = "checksum"
+
+
 _SECTIONS: dict[str, type] = {
     "workload": WorkloadConfig,
     "engine": EngineConfig,
@@ -197,6 +219,7 @@ _SECTIONS: dict[str, type] = {
     "tradeoff": TradeoffConfig,
     "scheduler": SchedulerConfig,
     "resilience": ResilienceConfig,
+    "cache": CacheConfig,
 }
 
 
@@ -296,6 +319,7 @@ class RunConfig:
     tradeoff: TradeoffConfig = field(default_factory=TradeoffConfig)
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -386,6 +410,17 @@ class RunConfig:
         # Same eager-validation contract as the engine fields: a bad
         # fault spec fails at config time with the harness's own error.
         FaultPlan.parse(resilience.faults)
+        cache = self.cache
+        if cache.max_bytes < 0:
+            raise ValueError(
+                f"cache max_bytes must be >= 0 (0 = unbounded), got "
+                f"{cache.max_bytes}"
+            )
+        if cache.verify not in VERIFY_POLICIES:
+            raise ValueError(
+                f"unknown verify policy {cache.verify!r}; choose from "
+                + ", ".join(VERIFY_POLICIES)
+            )
 
     # -- dict / file round-trip ----------------------------------------
     def to_dict(self) -> dict:

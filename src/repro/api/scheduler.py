@@ -4,7 +4,8 @@ PR 4 left :meth:`Session.submit` as a one-worker queue seam; this module
 widens it into a serving API. A :class:`Scheduler` accepts many
 concurrent typed job submissions (:class:`Job` in, :class:`JobHandle`
 out), groups compatible engine jobs by their engine signature —
-``(backend, workers, tile shape, plan, cache size)`` — and coalesces
+``(backend, workers, tile shape, plan, cache size, [cache] section)``
+— and coalesces
 each group into **one** :class:`~repro.engine.planner.TracePlanner`
 bucket batch: every client's tiles land in the same shape buckets, one
 global content dedup runs per bucket across *all* requests, and one
@@ -64,6 +65,7 @@ from repro.engine import faults
 from repro.engine.parallel import PoolBrokenError
 from repro.engine.pipeline import stats_from_records
 from repro.engine.planner import PLANNED_PROFILE_STAGES
+from repro.engine.store import open_store
 from repro.workloads import get_trace
 
 __all__ = [
@@ -125,13 +127,12 @@ class BatchExecutionError(RuntimeError):
         self.batch_size = batch_size
 
 
-class StreamTimeoutError(TimeoutError, queue.Empty):
+class StreamTimeoutError(TimeoutError):
     """``JobHandle.next_chunk`` timed out waiting for the next chunk.
 
     Subclasses :class:`TimeoutError` — the contract shared with
-    ``result(timeout=)`` — and, for one deprecation release, also
-    ``queue.Empty``, which ``next_chunk`` raised before 1.4; catch
-    ``TimeoutError``.
+    ``result(timeout=)``. (The pre-1.4 ``queue.Empty`` compatibility
+    base was bridged for one release and removed in 1.5.)
     """
 
 #: Experiment kinds a scheduler accepts — the Session methods by name.
@@ -143,8 +144,12 @@ _DONE = object()
 
 def _engine_key(config: RunConfig) -> tuple:
     """Engine-compatibility signature: jobs sharing it share one engine
-    (cache, arena, sharded pool) and may coalesce into one batch."""
+    (cache, arena, sharded pool, persistent store) and may coalesce
+    into one batch.  The ``[cache]`` section is part of the signature:
+    jobs with different store configurations must not silently share a
+    store-backed engine."""
     engine = config.engine
+    cache = config.cache
     return (
         engine.backend,
         engine.workers,
@@ -152,6 +157,10 @@ def _engine_key(config: RunConfig) -> tuple:
         engine.tile_k,
         engine.plan,
         engine.cache_size,
+        cache.enabled,
+        cache.path,
+        cache.max_bytes,
+        cache.verify,
     )
 
 
@@ -272,9 +281,7 @@ class JobHandle:
         Raises the job's exception (or ``CancelledError``) after the
         stream terminates abnormally, and :class:`StreamTimeoutError` —
         a :class:`TimeoutError`, matching ``result(timeout=)`` — when no
-        chunk arrives within ``timeout`` seconds. (The pre-1.4
-        ``queue.Empty`` contract still catches it for one release:
-        ``StreamTimeoutError`` subclasses both.)
+        chunk arrives within ``timeout`` seconds.
         """
         if self._chunks is None:
             raise RuntimeError("job was not submitted with stream=True")
@@ -384,6 +391,7 @@ class Scheduler:
         self._ids = itertools.count(1)
         self._engines: dict[tuple, ProsperityEngine] = {}
         self._adopted: set[tuple] = set()  # engine keys the scheduler must not close
+        self._stores: dict[tuple, object] = {}  # scheduler-owned persistent stores
         self._sessions: dict[RunConfig, Session] = {}
         self.resilience = self.config.resilience
         # A configured fault plan activates the deterministic injection
@@ -439,6 +447,10 @@ class Scheduler:
             if key not in self._adopted:
                 engine.close()
         self._engines.clear()
+        # Stores last: the engines above may still flush async writes.
+        for store in self._stores.values():
+            store.close()
+        self._stores.clear()
 
     @property
     def pools_spawned(self) -> int:
@@ -464,6 +476,23 @@ class Scheduler:
             counters = engine.backend.failure_counters()
             pool_rebuilds += counters.get("pool_rebuilds", 0)
             degraded = degraded or bool(counters.get("degraded"))
+        # Persistent-store traffic aggregates over distinct stores (two
+        # engines never share one today, but dedupe by identity anyway).
+        store_totals = {
+            "store_hits": 0,
+            "store_misses": 0,
+            "store_corrupt": 0,
+            "store_evictions": 0,
+        }
+        seen_stores: set[int] = set()
+        for engine in engines:
+            store = getattr(engine, "store", None)
+            if store is None or id(store) in seen_stores:
+                continue
+            seen_stores.add(id(store))
+            counters = store.counters()
+            for name in store_totals:
+                store_totals[name] += counters.get(name, 0)
         return {
             "jobs_submitted": self.jobs_submitted,
             "jobs_coalesced": self.jobs_coalesced,
@@ -475,6 +504,7 @@ class Scheduler:
             "pool_rebuilds": pool_rebuilds,
             "pools_spawned": self.pools_spawned,
             "degraded": degraded,
+            **store_totals,
         }
 
     def adopt_engine(self, config: RunConfig, engine: ProsperityEngine) -> None:
@@ -700,6 +730,7 @@ class Scheduler:
             engine = self._engines.get(key)
             if engine is None:
                 engine_cfg = config.engine
+                store = open_store(config.cache)
                 engine = ProsperityEngine(
                     backend=engine_cfg.backend,
                     tile_m=engine_cfg.tile_m,
@@ -708,8 +739,13 @@ class Scheduler:
                     workers=engine_cfg.workers,
                     plan=engine_cfg.plan,
                     backend_options=engine_backend_options(config),
+                    store=store,
                 )
                 self._engines[key] = engine
+                if store is not None:
+                    # The scheduler, not the engine, owns the store it
+                    # constructed — mirror the Session ownership seam.
+                    self._stores[key] = store
             return engine
 
     def _session_for(self, config: RunConfig) -> Session:
@@ -884,6 +920,8 @@ class Scheduler:
         cache = engine.cache
         hits0 = cache.hits if cache else 0
         misses0 = cache.misses if cache else 0
+        store = engine.store
+        store0 = store.counters() if store is not None else {}
         profile0 = dict(getattr(engine.backend, "profile", None) or {})
         counters0 = engine.backend.failure_counters()
         profile = {stage: 0.0 for stage in PLANNED_PROFILE_STAGES}
@@ -935,6 +973,10 @@ class Scheduler:
                 )
         cache_hits = (cache.hits - hits0) if cache else 0
         cache_misses = (cache.misses - misses0) if cache else 0
+        store1 = store.counters() if store is not None else {}
+        store_delta = {
+            name: store1.get(name, 0) - store0.get(name, 0) for name in store1
+        }
         counters1 = engine.backend.failure_counters()
         pool_rebuilds = counters1.get("pool_rebuilds", 0) - counters0.get(
             "pool_rebuilds", 0
@@ -965,6 +1007,12 @@ class Scheduler:
                 unique_tiles=plan.unique_tiles,
                 cache_hits=cache_hits,
                 cache_misses=cache_misses,
+                # Batch-scoped persistent-store traffic, like cache.
+                store_hits=store_delta.get("store_hits", 0),
+                store_misses=store_delta.get("store_misses", 0),
+                store_corrupt=store_delta.get("store_corrupt", 0),
+                store_evictions=store_delta.get("store_evictions", 0),
+                store_active=store.enabled if store is not None else None,
                 profile=dict(profile),
                 jit_active=getattr(engine.backend, "jit_active", None),
                 # Batch-scoped supervision deltas, like profile/cache.

@@ -65,6 +65,7 @@ from repro.engine import (
     faults,
     get_backend,
 )
+from repro.engine.store import open_store
 from repro.snn.trace import ModelTrace
 from repro.workloads import get_trace
 
@@ -241,6 +242,7 @@ class Session:
                 )
         self._backend: Backend | None = engine.backend if engine else None
         self._engine: ProsperityEngine | None = engine
+        self._store = None  # session-owned ResultStore, created with the engine
         self._scheduler = None  # session-owned Scheduler, created on demand
         self._lock = threading.RLock()
         self._closed = False
@@ -282,12 +284,18 @@ class Session:
             self._check_open()
             if self._engine is None:
                 engine_cfg = self.config.engine
+                # The session owns the persistent store (the engine only
+                # borrows it) and drains/closes it with the engine. A
+                # damaged store degrades to None-equivalent behavior
+                # inside ResultStore itself, never here.
+                self._store = open_store(self.config.cache)
                 self._engine = ProsperityEngine(
                     backend=self.backend,
                     tile_m=engine_cfg.tile_m,
                     tile_k=engine_cfg.tile_k,
                     cache_size=engine_cfg.cache_size,
                     plan=engine_cfg.plan,
+                    store=self._store,
                 )
             return self._engine
 
@@ -319,6 +327,9 @@ class Session:
                 if self._owns_engine:
                     self._backend.close()
                 self._backend = None
+            if self._store is not None:
+                self._store.close()  # drains queued publishes
+                self._store = None
 
     def __enter__(self) -> "Session":
         return self

@@ -37,6 +37,7 @@ from repro.analysis.report import format_percent, format_ratio, format_table
 from repro.analysis.tradeoff import breakeven_sparsity_increase
 from repro.api import EngineRunResult, Job, RunConfig, Scheduler, Session
 from repro.engine import PLAN_MODES, available_backends
+from repro.engine.store import ResultStore, default_store_path
 from repro.workloads import PRESETS
 
 
@@ -245,6 +246,17 @@ def cmd_run(config: RunConfig, session: Session) -> str:
             "\ndegraded: sharded pool rebuild budget exhausted — "
             "running the in-process fused path"
         )
+    if report.store_active is not None:
+        footer += (
+            f"\nstore: {report.store_hits} hits / {report.store_misses} misses, "
+            f"{report.store_corrupt} corrupt quarantined, "
+            f"{report.store_evictions} evicted"
+        )
+        if not report.store_active:
+            footer += (
+                "\nstore: DEGRADED — persistent cache disabled for this "
+                "process, runs continue via the kernel path"
+            )
     if report.jit_active is not None:
         footer += (
             "\njit: active (numba kernels)"
@@ -345,6 +357,13 @@ def cmd_batch(args: argparse.Namespace) -> int:
             if stats["degraded"]:
                 parts.append("degraded: pool unavailable, in-process fallback")
             footer += "\nresilience: " + ", ".join(parts)
+        if any(config.cache.enabled for _, config in configs):
+            footer += (
+                f"\nstore: {stats['store_hits']} hits / "
+                f"{stats['store_misses']} misses, "
+                f"{stats['store_corrupt']} corrupt quarantined, "
+                f"{stats['store_evictions']} evicted"
+            )
     table = format_table(
         ["config", "kind", "workload", "backend", "result", "wall"],
         rows,
@@ -354,6 +373,57 @@ def cmd_batch(args: argparse.Namespace) -> int:
     for failure in failures:
         print(f"repro: batch job failed: {failure}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or maintain the persistent result store.
+
+    Opens the store named by the merged config's ``[cache]`` section
+    (``path`` empty means the default location) synchronously — no
+    engine, no Session — so the subcommand works on a store that no run
+    currently owns. ``verify`` exits non-zero when it quarantines
+    corrupt entries, for use as a CI health gate.
+    """
+    config = config_from_args(args)
+    cache_cfg = config.cache
+    path = cache_cfg.path or default_store_path()
+    try:
+        store = ResultStore(
+            path,
+            max_bytes=cache_cfg.max_bytes,
+            verify=cache_cfg.verify,
+            async_writes=False,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro: error: {exc}") from exc
+    try:
+        if args.cache_command == "stats":
+            stats = store.stats()
+            rows = [
+                ["path", stats.path],
+                ["enabled", "yes" if stats.enabled else "no"],
+                ["entries", stats.entries],
+                ["total bytes", f"{stats.total_bytes:,}"],
+                ["max bytes", f"{stats.max_bytes:,}" if stats.max_bytes else "unbounded"],
+                ["quarantined", stats.quarantined],
+            ]
+            if stats.disabled_reason:
+                rows.append(["disabled reason", stats.disabled_reason])
+            print(format_table(["field", "value"], rows, title="persistent result store"))
+            return 0
+        if args.cache_command == "clear":
+            removed = store.clear()
+            print(f"store: removed {removed} entries from {store.directory}")
+            return 0
+        # verify
+        checked, corrupt = store.verify_all()
+        print(
+            f"store: verified {checked} entries, "
+            f"{corrupt} corrupt quarantined"
+        )
+        return 1 if corrupt else 0
+    finally:
+        store.close()
 
 
 COMMANDS = {
@@ -470,6 +540,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--kind", default="run", choices=Session._QUEUEABLE,
         help="experiment to run for every config (default: run)",
     )
+    cache_cmd = subparsers.add_parser(
+        "cache", help="inspect or maintain the persistent result store"
+    )
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("stats", "show store location, entry count, size, and quarantine"),
+        ("clear", "remove every cached entry (the store stays usable)"),
+        ("verify", "checksum every entry, quarantine corrupt ones "
+                   "(exit 1 if any)"),
+    ):
+        sub = cache_sub.add_parser(name, help=help_text)
+        _add_config_args(sub)
     trade = subparsers.add_parser("tradeoff")
     _add_config_args(trade)
     trade.add_argument("--sparsity-increase", type=float, default=None,
@@ -491,6 +573,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "batch":
         return cmd_batch(args)
+    if args.command == "cache":
+        return cmd_cache(args)
     config = config_from_args(args)
     if args.command == "config":
         output = config.to_json() if args.json else config.to_toml()

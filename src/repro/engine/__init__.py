@@ -39,6 +39,7 @@ from repro.engine.pipeline import (
     WorkloadRun,
     stats_from_records,
 )
+from repro.engine.store import ResultStore, StoreStats, default_store_path
 
 __all__ = [
     "Backend",
@@ -51,11 +52,14 @@ __all__ = [
     "PLAN_MODES",
     "PoolBrokenError",
     "ReferenceBackend",
+    "ResultStore",
     "ShardedBackend",
+    "StoreStats",
     "TracePlan",
     "TracePlanner",
     "VectorizedBackend",
     "available_backends",
+    "default_store_path",
     "get_backend",
     "register_backend",
     "validate_plan_mode",

@@ -26,11 +26,20 @@ Comma-separated specs, each ``kind[:key=value]*``::
     slow_kernel:seconds=0.05          # sleep before one kernel dispatch
     engine_error:times=2              # raise a *transient* FaultInjected twice
     poison_job:match=bad              # jobs whose label contains "bad" always fail
+    store_corrupt:times=2             # corrupt 2 persistent-store entries on read
+    store_io_error:match=put          # fail one store write with an OSError
 
-``worker_crash``, ``slow_kernel`` and ``engine_error`` burn out after
-``times`` triggers (0 = unlimited); ``poison_job`` is persistent — it
-models a request that deterministically breaks the engine, so retrying
-it never helps and the scheduler must isolate it instead.
+``worker_crash``, ``slow_kernel``, ``engine_error``, ``store_corrupt``
+and ``store_io_error`` burn out after ``times`` triggers (0 =
+unlimited); ``poison_job`` is persistent — it models a request that
+deterministically breaks the engine, so retrying it never helps and the
+scheduler must isolate it instead.  The store kinds target the
+persistent result store (:mod:`repro.engine.store`): ``store_corrupt``
+flips bytes of an on-disk entry just before it is read (the checksum
+must catch it and quarantine the entry), ``store_io_error`` makes a
+store IO site raise ``OSError`` (the store must degrade to cache-off,
+never crash the run). ``match`` restricts either to a site substring
+(``get`` / ``put`` / ``open``).
 """
 
 from __future__ import annotations
@@ -57,6 +66,7 @@ __all__ = [
     "kernel_fault",
     "poison_fault",
     "refresh",
+    "store_fault",
     "worker_tick",
 ]
 
@@ -70,7 +80,14 @@ ENV_VAR = "REPRO_FAULTS"
 WORKER_CRASH_EXIT = 87
 
 #: Failure points the harness understands.
-FAULT_KINDS = ("worker_crash", "slow_kernel", "engine_error", "poison_job")
+FAULT_KINDS = (
+    "worker_crash",
+    "slow_kernel",
+    "engine_error",
+    "poison_job",
+    "store_corrupt",
+    "store_io_error",
+)
 
 #: Keys each spec accepts beyond its kind, with their coercions.
 _SPEC_KEYS = {"after": int, "times": int, "seconds": float, "match": str}
@@ -364,6 +381,43 @@ def _poison_fault_armed(labels: Iterable[str], site: str) -> None:
                 site=site,
                 transient=False,
             )
+
+
+def store_fault(site: str = "store") -> str | None:
+    """Check the persistent-store failure points at ``site``.
+
+    Returns ``"io_error"`` or ``"corrupt"`` when the matching spec
+    fires, ``None`` otherwise.  The store acts on the verdict itself
+    (raising ``OSError`` / flipping entry bytes) so this hook stays a
+    pure trigger and the blast site lives next to the IO it breaks.
+    ``match`` restricts a spec to sites containing the substring
+    (``get`` / ``put`` / ``open``).
+    """
+    if _PLAN is None:
+        return None
+    return _store_fault_armed(site)
+
+
+def _store_fault_armed(site: str) -> str | None:
+    plan = active_plan()
+    if plan is None:
+        return None
+    for kind, verdict in (("store_io_error", "io_error"), ("store_corrupt", "corrupt")):
+        spec = plan.get(kind)
+        if spec is None:
+            continue
+        if spec.match:
+            if spec.match not in site:
+                continue
+        elif kind == "store_corrupt" and "get" not in site:
+            # Corruption is a read-side fault: without an explicit
+            # ``match``, don't burn triggers at open/put sites where
+            # the verdict would be ignored.
+            continue
+        if spec.should_fire():
+            _sync_env(plan)
+            return verdict
+    return None
 
 
 def worker_tick() -> None:

@@ -83,12 +83,21 @@ class ForestCache:
     and/or the forest arrays, filled lazily by whichever path touched the
     tile first. Forest arrays are stored coordinate-free so a hit can be
     rebound to a tile at any position in any matrix.
+
+    ``store`` layers a persistent
+    :class:`~repro.engine.store.ResultStore` underneath the *record*
+    slot: a memory miss consults the store (counted as a memory miss
+    plus a store hit/miss — the two tiers stay separately observable),
+    a store hit backfills the memory entry, and every record put also
+    publishes durably. Forests stay memory-only — they rebuild cheaply
+    and their arrays dwarf the 72-byte records the store is sized for.
     """
 
-    def __init__(self, capacity: int = 1024):
+    def __init__(self, capacity: int = 1024, store=None):
         if capacity <= 0:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.capacity = capacity
+        self.store = store
         self.hits = 0
         self.misses = 0
         self._entries: OrderedDict[tuple, dict] = OrderedDict()
@@ -137,19 +146,32 @@ class ForestCache:
 
     # -- records --------------------------------------------------------
     def get_record(self, m: int, k: int, packed: np.ndarray):
-        return self._lookup(self.key(m, k, packed), "record")
+        return self.get_record_by_key(self.key(m, k, packed))
 
     def put_record(self, m: int, k: int, packed: np.ndarray, record) -> None:
-        self._store(self.key(m, k, packed), "record", tuple(record))
+        self.put_record_by_key(self.key(m, k, packed), record)
 
     # -- key-based record access (batched/deduplicated paths) -----------
     def get_record_by_key(self, key: tuple):
         """Record lookup with a precomputed :meth:`key` (hash once per
-        unique tile content, as the fused/sharded dedup does)."""
-        return self._lookup(key, "record")
+        unique tile content, as the fused/sharded dedup does).
+
+        Tiered: memory first, then the persistent store (whose file IO
+        happens *outside* the LRU mutex); a store hit backfills memory
+        so repeats within the process stay in-memory hits.
+        """
+        record = self._lookup(key, "record")
+        if record is not None or self.store is None:
+            return record
+        record = self.store.get(key)
+        if record is not None:
+            self._store(key, "record", tuple(record))
+        return record
 
     def put_record_by_key(self, key: tuple, record) -> None:
         self._store(key, "record", tuple(record))
+        if self.store is not None:
+            self.store.put(key, record)
 
     # -- forests --------------------------------------------------------
     def get_forest(self, tile: SpikeTile) -> ProSparsityForest | None:
@@ -232,6 +254,19 @@ class EngineReport:
     #: the backend fell back to the in-process fused path (mirrors
     #: ``jit_active`` semantics); ``None`` for unsupervised backends.
     degraded: bool | None = None
+    #: Persistent-store deltas for this run (engines with a
+    #: :class:`~repro.engine.store.ResultStore` attached): durable
+    #: record hits/misses under the in-memory tier, entries quarantined
+    #: after a checksum failure, and entries evicted past the byte
+    #: budget. All zero when no store is configured.
+    store_hits: int = 0
+    store_misses: int = 0
+    store_corrupt: int = 0
+    store_evictions: int = 0
+    #: True while a configured store is serving; False once it degraded
+    #: to cache-off (unwritable/damaged directory); ``None`` without a
+    #: store.
+    store_active: bool | None = None
 
     @property
     def total_tiles(self) -> int:
@@ -300,6 +335,14 @@ class ProsperityEngine:
         TracePlanner` — cross-workload shape buckets, one global content
         dedup per bucket, arena-backed buffers reused across runs.
         Records are bit-identical either way.
+    store:
+        Optional :class:`~repro.engine.store.ResultStore` layered under
+        the in-memory cache: record misses consult it before the kernel
+        path and computed records publish to it durably. The engine
+        never owns the store (sessions/schedulers share one across
+        engines and close it); per-run traffic deltas land in the
+        ``store_*`` report fields. A store with ``cache_size == 0``
+        still works — a minimal one-entry memory tier fronts it.
     """
 
     def __init__(
@@ -311,6 +354,7 @@ class ProsperityEngine:
         workers: int | None = None,
         plan: str = "matrix",
         backend_options: dict | None = None,
+        store=None,
     ):
         validate_tile_shape(tile_m, tile_k)
         # Ownership rule: backends constructed here (from a name) are
@@ -321,7 +365,13 @@ class ProsperityEngine:
         self.backend = get_backend(backend, workers=workers, **options)
         self.tile_m = tile_m
         self.tile_k = tile_k
-        self.cache = ForestCache(cache_size) if cache_size else None
+        self.store = store
+        if cache_size:
+            self.cache = ForestCache(cache_size, store=store)
+        elif store is not None:
+            self.cache = ForestCache(1, store=store)
+        else:
+            self.cache = None
         self.plan = validate_plan_mode(plan)
         self.planner = TracePlanner()
 
@@ -577,6 +627,7 @@ class ProsperityEngine:
         )
         hits0 = self.cache.hits if self.cache else 0
         misses0 = self.cache.misses if self.cache else 0
+        store0 = self.store.counters() if self.store is not None else {}
         profile0 = dict(getattr(self.backend, "profile", None) or {})
         counters0 = self.backend.failure_counters()
         if plan == "trace":
@@ -586,6 +637,21 @@ class ProsperityEngine:
         if self.cache:
             report.cache_hits = self.cache.hits - hits0
             report.cache_misses = self.cache.misses - misses0
+        if self.store is not None:
+            # Store counters are process-lifetime totals; the report
+            # carries this run's deltas, same as the cache tier above.
+            store1 = self.store.counters()
+            report.store_hits = store1["store_hits"] - store0["store_hits"]
+            report.store_misses = store1["store_misses"] - store0["store_misses"]
+            report.store_corrupt = store1["store_corrupt"] - store0["store_corrupt"]
+            report.store_evictions = (
+                store1["store_evictions"] - store0["store_evictions"]
+            )
+            report.store_active = self.store.enabled
+            # Publish this run's new entries in the background now that
+            # the kernels are done (puts buffer during the run to keep
+            # writer IO off the compute path).
+            self.store.kick()
         # Re-read after the run: a failed first JIT dispatch degrades the
         # compiled backend to its fallback mid-run, and the report should
         # describe what actually executed.

@@ -27,6 +27,16 @@ therefore lifts batching to *trace* scope:
   per-matrix allocation churn. A plan's bucket arrays are only valid
   until the next ``plan()`` call on the same planner; the *records* a
   plan execution returns are always freshly allocated.
+* **Persistent-store layering.** Bucket execution funnels through
+  :func:`~repro.engine.fused.cached_unique_records`, which consults the
+  cache tiers in order — in-memory
+  :class:`~repro.engine.pipeline.ForestCache` first, then the durable
+  :class:`~repro.engine.store.ResultStore` when the engine has one —
+  before computing the remaining unique contents through the backend
+  kernel and publishing the new records back down both tiers. The
+  planner itself never talks to the store; the content digest it
+  deduped on is exactly the store's addressing key, so cross-*process*
+  reuse composes with cross-workload dedup for free.
 
 Records are scattered back to per-workload row-major tile order and are
 bit-identical to the per-matrix path for every backend and worker

@@ -313,23 +313,12 @@ class TestStreaming:
         finally:
             scheduler.close(wait=False)
 
-    def test_next_chunk_timeout_still_catches_as_queue_empty(self):
-        """Deprecation bridge (one release): pre-1.4 callers caught
-        ``queue.Empty``; that except clause must keep working."""
+    def test_next_chunk_timeout_is_not_queue_empty(self):
+        """The pre-1.4 ``queue.Empty`` bridge is gone: the exception is
+        a plain ``TimeoutError`` subclass and nothing else."""
         import queue
 
-        cfg = lenet_config(**{"engine.backend": "fused"})
-        scheduler = Scheduler(cfg, coalesce_window_ms=5000)
-        try:
-            handle = scheduler.submit("run", stream=True)
-            try:
-                handle.next_chunk(timeout=0.05)
-                raise AssertionError("expected a timeout")
-            except queue.Empty as exc:
-                assert isinstance(exc, StreamTimeoutError)
-            handle.cancel()
-        finally:
-            scheduler.close(wait=False)
+        assert not issubclass(StreamTimeoutError, queue.Empty)
 
 
 class TestSharedResources:
