@@ -23,6 +23,13 @@ This package is the canonical way to drive the system:
   section (:class:`ResilienceConfig`).
 * :class:`AsyncSession` — ``asyncio`` wrappers (``await run()`` /
   ``gather()`` / ``async for chunk in stream()``) over the scheduler.
+* :class:`ServeClient` — the network client for a ``repro serve``
+  endpoint (:mod:`repro.server`): jobs over HTTP/JSON with the same
+  exception types the in-process scheduler raises (429 →
+  :class:`SchedulerSaturated`, 504 → :class:`DeadlineExceeded`, 500 →
+  :class:`BatchExecutionError`), records byte-identical to
+  ``Session.run()``; tenancy/priorities come from the ``[server]``
+  config section (:class:`ServerConfig`).
 
 The lower-level entry points (``ProsperityEngine``,
 ``ProsperitySimulator``, ``sweep_tile_sizes``) remain supported, but new
@@ -32,12 +39,20 @@ typed object and pooled resources are shared.
 """
 
 from repro.api.aio import AsyncSession
+from repro.api.client import (
+    ServeClient,
+    ServeError,
+    ServeRequestError,
+    ServeResult,
+    ServeUnavailable,
+)
 from repro.api.config import (
     EngineConfig,
     ResilienceConfig,
     RunConfig,
     SamplingConfig,
     SchedulerConfig,
+    ServerConfig,
     SimulatorConfig,
     SweepConfig,
     TradeoffConfig,
@@ -82,6 +97,12 @@ __all__ = [
     "Scheduler",
     "SchedulerConfig",
     "SchedulerSaturated",
+    "ServeClient",
+    "ServeError",
+    "ServeRequestError",
+    "ServeResult",
+    "ServeUnavailable",
+    "ServerConfig",
     "Session",
     "StreamTimeoutError",
     "SimulationResult",

@@ -1,0 +1,240 @@
+"""ServeClient: the Python client for a ``repro serve`` endpoint.
+
+One :class:`ServeClient` holds one persistent ``http.client``
+connection to a :class:`~repro.server.app.ReproServer` and speaks the
+JSON protocol defined in :mod:`repro.server.protocol`. Server-side
+serving failures come back as the *same* exception types the in-process
+:class:`~repro.api.Scheduler` raises — a caller migrating from
+``Session``/``Scheduler`` to the network path keeps its error handling:
+
+======  ==========================================================
+status  raised
+======  ==========================================================
+429     :class:`~repro.api.scheduler.SchedulerSaturated`
+504     :class:`~repro.api.scheduler.DeadlineExceeded` (job-scoped)
+500     :class:`~repro.api.scheduler.BatchExecutionError` when the
+        server names that type, else :class:`ServeError`
+400     :class:`ServeRequestError` (a ``ValueError``)
+503     :class:`ServeUnavailable` (draining / injected rejection)
+======  ==========================================================
+
+``submit()`` blocks until the job completes (the server holds the
+request open); run-job records decode back to numpy arrays in ``full``
+mode, byte-identical to what ``Session.run()`` returns. The client is
+deliberately **not** thread-safe — it owns a single connection; use one
+client per thread (they are cheap) for concurrent load.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.parse
+
+from repro.api.config import RunConfig
+from repro.api.scheduler import (
+    BatchExecutionError,
+    DeadlineExceeded,
+    SchedulerSaturated,
+)
+from repro.server.protocol import decode_records
+
+__all__ = [
+    "ServeClient",
+    "ServeError",
+    "ServeRequestError",
+    "ServeResult",
+    "ServeUnavailable",
+]
+
+
+class ServeError(RuntimeError):
+    """A serving request failed for a reason with no richer local type."""
+
+    def __init__(self, message: str, *, status: int = 0, error_type: str = ""):
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+
+
+class ServeRequestError(ServeError, ValueError):
+    """The server rejected the request as invalid (HTTP 400)."""
+
+
+class ServeUnavailable(ServeError):
+    """The server is not taking jobs (HTTP 503: draining or injected)."""
+
+
+class ServeResult:
+    """One completed job as the wire reported it.
+
+    ``result`` is the kind-specific payload dict; for run jobs each
+    entry of ``result["report"]["runs"]`` carries its decoded numpy
+    ``records`` array when the job was submitted with
+    ``records="full"`` (``None`` in ``digest``/``none`` modes — the
+    raw wire body, including any digest, stays under ``"records_wire"``).
+    """
+
+    def __init__(self, body: dict):
+        self.job_id: int = body["job_id"]
+        self.tenant: str = body["tenant"]
+        self.priority: str = body["priority"]
+        self.kind: str = body["kind"]
+        self.result: dict = body["result"]
+        self.seconds: float = self.result.get("seconds", 0.0)
+        report = self.result.get("report")
+        if report:
+            for run in report["runs"]:
+                wire = run.pop("records")
+                run["records_wire"] = wire
+                run["records"] = decode_records(wire)
+
+    @property
+    def report(self) -> dict | None:
+        return self.result.get("report")
+
+    def records(self, name: str):
+        """Decoded records for one workload by name (run jobs, full mode)."""
+        report = self.report
+        if report is None:
+            raise ValueError(f"{self.kind!r} job results carry no records")
+        for run in report["runs"]:
+            if run["name"] == name:
+                return run["records"]
+        raise KeyError(f"no workload {name!r} in this result")
+
+
+def _raise_for_error(status: int, body: dict) -> None:
+    detail = body.get("error") or {}
+    error_type = detail.get("type", "")
+    message = detail.get("message", f"server returned HTTP {status}")
+    job_id = detail.get("job_id")
+    label = detail.get("label", "")
+    if status == 429:
+        raise SchedulerSaturated(message)
+    if status == 504:
+        raise DeadlineExceeded(message, job_id=job_id, label=label)
+    if error_type == "BatchExecutionError":
+        raise BatchExecutionError(
+            message, job_id=job_id, label=label,
+            batch_size=detail.get("batch_size", 1),
+        )
+    if status == 400:
+        raise ServeRequestError(message, status=status, error_type=error_type)
+    if status == 503:
+        raise ServeUnavailable(message, status=status, error_type=error_type)
+    raise ServeError(message, status=status, error_type=error_type)
+
+
+class ServeClient:
+    """Blocking JSON-over-HTTP client for one serving endpoint."""
+
+    def __init__(self, url: str, *, timeout: float = 300.0):
+        parsed = urllib.parse.urlsplit(url if "//" in url else f"//{url}")
+        if parsed.scheme not in ("", "http"):
+            raise ValueError(f"only http:// endpoints are supported, got {url!r}")
+        if not parsed.hostname or not parsed.port:
+            raise ValueError(f"endpoint must include host and port, got {url!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    # -- transport ------------------------------------------------------
+    def _request(self, method: str, path: str, body: dict | None = None) -> tuple[int, dict]:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        try:
+            self._conn.request(method, path, body=payload, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # One reconnect: the server may have closed an idle
+            # keep-alive connection between requests.
+            self.close()
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._conn.request(method, path, body=payload, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        try:
+            parsed = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError as exc:
+            raise ServeError(
+                f"non-JSON response (HTTP {response.status}): {raw[:200]!r}",
+                status=response.status,
+            ) from exc
+        return response.status, parsed
+
+    # -- API ------------------------------------------------------------
+    def submit(
+        self,
+        kind: str = "run",
+        *,
+        config: RunConfig | dict | None = None,
+        tenant: str = "",
+        priority: str = "",
+        label: str = "",
+        deadline_ms: float | None = None,
+        timeout_s: float | None = None,
+        records: str = "full",
+    ) -> ServeResult:
+        """Submit one job and block until its result (or mapped error).
+
+        ``config`` is either a full :class:`RunConfig` or a sparse dict
+        of sections overlaid on the server's default config.
+        """
+        request: dict = {"kind": kind, "records": records}
+        if config is not None:
+            request["config"] = (
+                config.to_dict() if isinstance(config, RunConfig) else config
+            )
+        if tenant:
+            request["tenant"] = tenant
+        if priority:
+            request["priority"] = priority
+        if label:
+            request["label"] = label
+        if deadline_ms is not None:
+            request["deadline_ms"] = deadline_ms
+        if timeout_s is not None:
+            request["timeout_s"] = timeout_s
+        status, body = self._request("POST", "/v1/jobs", request)
+        if status != 200:
+            _raise_for_error(status, body)
+        return ServeResult(body)
+
+    def metrics(self) -> dict:
+        status, body = self._request("GET", "/metrics")
+        if status != 200:
+            _raise_for_error(status, body)
+        return body
+
+    def health(self) -> dict:
+        """``/healthz`` payload plus the status code (no exception)."""
+        status, body = self._request("GET", "/healthz")
+        return {"status_code": status, **body}
+
+    def drain(self) -> dict:
+        """Ask the server to drain gracefully (``POST /admin/drain``)."""
+        status, body = self._request("POST", "/admin/drain")
+        if status != 202:
+            _raise_for_error(status, body)
+        return body

@@ -69,6 +69,7 @@ __all__ = [
     "RunConfig",
     "SamplingConfig",
     "SchedulerConfig",
+    "ServerConfig",
     "SimulatorConfig",
     "SweepConfig",
     "TradeoffConfig",
@@ -159,6 +160,41 @@ OVERLOAD_POLICIES = ("block", "shed")
 
 
 @dataclass(frozen=True)
+class ServerConfig:
+    """Network serving front end (:mod:`repro.server`) + tenancy.
+
+    ``host``/``port`` are the listen address (``port=0`` binds an
+    ephemeral port, reported by ``ReproServer.port``). ``tenants``
+    restricts who may submit: empty means open tenancy (any tenant
+    string is accepted, ``default_tenant`` when the request names
+    none). Per-tenant quotas bound how much of the scheduler queue one
+    tenant may occupy: ``tenant_max_inflight`` is an absolute cap on a
+    tenant's queued jobs (0 = none) and ``tenant_queue_share`` a
+    fractional cap of ``scheduler.max_inflight`` (1.0 = none); the
+    effective quota is the tighter of the two, and a tenant at quota is
+    refused with ``SchedulerSaturated`` — other tenants are unaffected.
+    ``priorities`` are the priority classes in rank order with one
+    positive ``priority_weights`` entry each: every coalesce window the
+    dispatcher drains queued jobs in weighted-interleave order (e.g.
+    weights ``(4, 1)`` dispatch up to 4 ``interactive`` jobs per
+    ``batch`` job), so a flood of one class cannot starve another.
+    Requests naming no priority get the first class.
+    ``drain_timeout_s`` bounds how long a graceful drain (SIGTERM)
+    waits for in-flight requests before shutting down anyway.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    tenants: tuple[str, ...] = ()
+    default_tenant: str = "anonymous"
+    tenant_max_inflight: int = 0
+    tenant_queue_share: float = 1.0
+    priorities: tuple[str, ...] = ("interactive", "batch")
+    priority_weights: tuple[int, ...] = (4, 1)
+    drain_timeout_s: float = 30.0
+
+
+@dataclass(frozen=True)
 class ResilienceConfig:
     """Failure handling: supervision, retries, deadlines, admission.
 
@@ -220,6 +256,7 @@ _SECTIONS: dict[str, type] = {
     "scheduler": SchedulerConfig,
     "resilience": ResilienceConfig,
     "cache": CacheConfig,
+    "server": ServerConfig,
 }
 
 
@@ -320,6 +357,7 @@ class RunConfig:
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
+    server: ServerConfig = field(default_factory=ServerConfig)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -410,6 +448,51 @@ class RunConfig:
         # Same eager-validation contract as the engine fields: a bad
         # fault spec fails at config time with the harness's own error.
         FaultPlan.parse(resilience.faults)
+        server = self.server
+        if not 0 <= server.port <= 65535:
+            raise ValueError(f"server port must be in 0..65535, got {server.port}")
+        if not server.host:
+            raise ValueError("server host must be non-empty")
+        if not server.default_tenant:
+            raise ValueError("server default_tenant must be non-empty")
+        if server.tenants and server.default_tenant not in server.tenants:
+            raise ValueError(
+                f"server default_tenant {server.default_tenant!r} must appear "
+                f"in the tenants list {list(server.tenants)}"
+            )
+        if server.tenant_max_inflight < 0:
+            raise ValueError(
+                "server tenant_max_inflight must be >= 0 (0 = no cap), got "
+                f"{server.tenant_max_inflight}"
+            )
+        if not 0 < server.tenant_queue_share <= 1:
+            raise ValueError(
+                "server tenant_queue_share must be in (0, 1], got "
+                f"{server.tenant_queue_share}"
+            )
+        if not server.priorities:
+            raise ValueError(
+                "server priorities must name at least one class "
+                "(the first is the default)"
+            )
+        if len(set(server.priorities)) != len(server.priorities):
+            raise ValueError(
+                f"server priorities must be distinct, got {list(server.priorities)}"
+            )
+        if len(server.priority_weights) != len(server.priorities):
+            raise ValueError(
+                f"server priority_weights needs one weight per priority class "
+                f"({len(server.priorities)}), got {len(server.priority_weights)}"
+            )
+        if any(weight < 1 for weight in server.priority_weights):
+            raise ValueError(
+                "server priority_weights must be positive ints, got "
+                f"{list(server.priority_weights)}"
+            )
+        if server.drain_timeout_s < 0:
+            raise ValueError(
+                f"server drain_timeout_s must be >= 0, got {server.drain_timeout_s}"
+            )
         cache = self.cache
         if cache.max_bytes < 0:
             raise ValueError(

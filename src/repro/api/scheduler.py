@@ -176,12 +176,21 @@ class Job:
     effective config's ``resilience.deadline_ms``; ``0`` there means no
     deadline): a job still undispatched when it expires fails with
     :class:`DeadlineExceeded` instead of running late.
+
+    ``tenant`` and ``priority`` are the multi-user serving dimensions
+    from the scheduler config's ``[server]`` section: empty strings
+    (the defaults) resolve to ``server.default_tenant`` and the first
+    configured priority class at submission. A tenant at its queue
+    quota is refused with :class:`SchedulerSaturated`; priority decides
+    the job's weighted drain order within each coalesce window.
     """
 
     kind: str = "run"
     config: RunConfig | None = None
     label: str = ""
     deadline_ms: float | None = None
+    tenant: str = ""
+    priority: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -226,6 +235,10 @@ class JobHandle:
         self.config = config  # effective config (job override or default)
         self.future: Future = Future()
         self.stream_chunk = stream_chunk
+        # Effective serving dimensions, resolved against the scheduler's
+        # [server] section at submission (defaults applied, names checked).
+        self.tenant = job.tenant
+        self.priority = job.priority
         # Absolute queue deadline (time.monotonic()), or None. Set by
         # the scheduler at submission; checked at dispatcher claim time.
         self.deadline_at: float | None = None
@@ -394,6 +407,24 @@ class Scheduler:
         self._stores: dict[tuple, object] = {}  # scheduler-owned persistent stores
         self._sessions: dict[RunConfig, Session] = {}
         self.resilience = self.config.resilience
+        # Tenancy + priority classes come from the [server] section (the
+        # network front end shares these semantics with in-process users).
+        server_cfg = self.config.server
+        self.server_cfg = server_cfg
+        self._priorities: tuple[str, ...] = server_cfg.priorities
+        self._priority_weights = dict(
+            zip(server_cfg.priorities, server_cfg.priority_weights)
+        )
+        # Effective per-tenant queue quota: the tighter of the absolute
+        # cap and the fractional share of max_inflight; None = unlimited.
+        quotas = []
+        if server_cfg.tenant_max_inflight > 0:
+            quotas.append(server_cfg.tenant_max_inflight)
+        if server_cfg.tenant_queue_share < 1.0:
+            quotas.append(
+                max(1, int(self.max_inflight * server_cfg.tenant_queue_share))
+            )
+        self.tenant_quota: int | None = min(quotas) if quotas else None
         # A configured fault plan activates the deterministic injection
         # harness for this process (off when the spec is empty).
         if self.resilience.faults:
@@ -402,6 +433,9 @@ class Scheduler:
         self.jobs_submitted = 0
         self.jobs_coalesced = 0  # jobs that ran inside a >1-job batch
         self.batches = 0  # coalesced planner batches executed
+        #: Per-tenant / per-priority submission totals (observability).
+        self.jobs_by_tenant: dict[str, int] = {}
+        self.jobs_by_priority: dict[str, int] = {}
         #: Resilience counters.
         self.jobs_shed = 0  # submits rejected by admission control
         self.jobs_retried = 0  # job dispatches retried on transient failure
@@ -496,6 +530,8 @@ class Scheduler:
         return {
             "jobs_submitted": self.jobs_submitted,
             "jobs_coalesced": self.jobs_coalesced,
+            "jobs_by_tenant": dict(self.jobs_by_tenant),
+            "jobs_by_priority": dict(self.jobs_by_priority),
             "batches": self.batches,
             "jobs_shed": self.jobs_shed,
             "jobs_retried": self.jobs_retried,
@@ -588,6 +624,19 @@ class Scheduler:
             if stream_chunk < 1:
                 raise ValueError(f"stream chunk must be >= 1, got {stream_chunk}")
         handle = JobHandle(job, next(self._ids), effective, stream_chunk)
+        server_cfg = self.server_cfg
+        handle.tenant = job.tenant or server_cfg.default_tenant
+        if server_cfg.tenants and handle.tenant not in server_cfg.tenants:
+            raise ValueError(
+                f"unknown tenant {handle.tenant!r}; configured tenants: "
+                f"{sorted(server_cfg.tenants)}"
+            )
+        handle.priority = job.priority or self._priorities[0]
+        if handle.priority not in self._priorities:
+            raise ValueError(
+                f"unknown priority {handle.priority!r}; configured "
+                f"priorities: {list(self._priorities)}"
+            )
         deadline_ms = job.deadline_ms
         if deadline_ms is None:
             deadline_ms = effective.resilience.deadline_ms or None
@@ -606,11 +655,13 @@ class Scheduler:
         admission_deadline = None if timeout is None else time.monotonic() + timeout
         with self._cv:
             # Block for queue space: enough room for the whole batch, or
-            # an empty queue (so one oversized submit_many still fits).
+            # an empty queue (so one oversized submit_many still fits) —
+            # and, per tenant, room under the tenant's queue quota.
             while True:
                 if self._closing or self._closed:
                     raise RuntimeError("scheduler is closed; no new submissions")
-                if (
+                blocked_tenant = self._tenant_over_quota(handles)
+                if blocked_tenant is None and (
                     len(self._pending) + len(handles) <= self.max_inflight
                     or not self._pending
                 ):
@@ -621,6 +672,13 @@ class Scheduler:
                 remaining = admission_deadline - time.monotonic()
                 if remaining <= 0:
                     self.jobs_shed += len(handles)
+                    if blocked_tenant is not None:
+                        raise SchedulerSaturated(
+                            f"tenant {blocked_tenant!r} stayed at its queue "
+                            f"quota ({self.tenant_quota} job(s)) for "
+                            f"{timeout * 1000:.0f} ms; {len(handles)} job(s) "
+                            "shed — other tenants are unaffected"
+                        )
                     raise SchedulerSaturated(
                         f"scheduler queue stayed full ({self.max_inflight} "
                         f"inflight) for {timeout * 1000:.0f} ms; "
@@ -629,6 +687,13 @@ class Scheduler:
                 self._cv.wait(timeout=remaining)
             self._pending.extend(handles)
             self.jobs_submitted += len(handles)
+            for handle in handles:
+                self.jobs_by_tenant[handle.tenant] = (
+                    self.jobs_by_tenant.get(handle.tenant, 0) + 1
+                )
+                self.jobs_by_priority[handle.priority] = (
+                    self.jobs_by_priority.get(handle.priority, 0) + 1
+                )
             if self._thread is None:
                 self._thread = threading.Thread(
                     target=self._loop, name="repro-scheduler", daemon=True
@@ -637,7 +702,75 @@ class Scheduler:
             self._cv.notify_all()
         return handles
 
+    def _tenant_over_quota(self, handles: list[JobHandle]) -> str | None:
+        """First tenant among ``handles`` whose quota would be exceeded.
+
+        Called under ``_cv``. A tenant with nothing queued always fits
+        (mirroring the oversized-``submit_many`` escape hatch for the
+        global bound), so one batch larger than the quota can still run.
+        """
+        if self.tenant_quota is None:
+            return None
+        queued: dict[str, int] = {}
+        for pending in self._pending:
+            queued[pending.tenant] = queued.get(pending.tenant, 0) + 1
+        adding: dict[str, int] = {}
+        for handle in handles:
+            adding[handle.tenant] = adding.get(handle.tenant, 0) + 1
+        for tenant, count in adding.items():
+            already = queued.get(tenant, 0)
+            if already and already + count > self.tenant_quota:
+                return tenant
+        return None
+
+    def queue_depths(self) -> dict:
+        """Live queue-depth snapshot by tenant and by priority class.
+
+        The network front end surfaces this under ``/metrics``; depths
+        count jobs queued but not yet claimed by the dispatcher.
+        """
+        with self._cv:
+            pending = list(self._pending)
+        by_tenant: dict[str, int] = {}
+        by_priority: dict[str, int] = {}
+        for handle in pending:
+            by_tenant[handle.tenant] = by_tenant.get(handle.tenant, 0) + 1
+            by_priority[handle.priority] = by_priority.get(handle.priority, 0) + 1
+        return {
+            "queued": len(pending),
+            "by_tenant": by_tenant,
+            "by_priority": by_priority,
+        }
+
     # -- dispatcher -----------------------------------------------------
+    def _weighted_order(self, handles: list[JobHandle]) -> list[JobHandle]:
+        """Order one drained window by priority-weighted interleave.
+
+        Jobs are grouped by priority class (FIFO within a class) and
+        interleaved in rank order by the configured weights — with
+        weights ``(4, 1)``, each round dispatches up to 4 jobs of the
+        first class, then 1 of the second, until every class drains.
+        Everything queued still dispatches within the window (the PR 5
+        no-starvation guarantee); weights decide *order*, which is what
+        bounds a lower class's wait when higher-priority work floods in.
+        """
+        if len(handles) < 2 or len(self._priorities) < 2:
+            return handles
+        classes: dict[str, deque[JobHandle]] = {
+            priority: deque() for priority in self._priorities
+        }
+        for handle in handles:
+            classes[handle.priority].append(handle)
+        ordered: list[JobHandle] = []
+        while len(ordered) < len(handles):
+            for priority in self._priorities:
+                queued = classes[priority]
+                for _ in range(self._priority_weights[priority]):
+                    if not queued:
+                        break
+                    ordered.append(queued.popleft())
+        return ordered
+
     def _loop(self) -> None:
         while True:
             with self._cv:
@@ -655,7 +788,7 @@ class Scheduler:
                         if remaining <= 0:
                             break
                         self._cv.wait(timeout=remaining)
-                batch = list(self._pending)
+                batch = self._weighted_order(list(self._pending))
                 self._pending.clear()
                 self._cv.notify_all()  # wake submitters blocked on depth
             self._dispatch(batch)

@@ -22,6 +22,8 @@ Examples
     repro run      --config run.toml --set engine.plan=trace
     repro config dump --set workload.model=lenet5 > run.toml
     repro batch    --config a.toml --config b.toml --set engine.backend=fused
+    repro serve    --config serve.toml --port 8707
+    repro submit   --url http://127.0.0.1:8707 --count 8 --tenant acme
     repro --version
 
 (Also runnable as ``python -m repro.cli`` when not installed.)
@@ -30,14 +32,18 @@ Examples
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 from importlib import metadata
 
 from repro.analysis.report import format_percent, format_ratio, format_table
 from repro.analysis.tradeoff import breakeven_sparsity_increase
 from repro.api import EngineRunResult, Job, RunConfig, Scheduler, Session
+from repro.api.client import ServeClient
 from repro.engine import PLAN_MODES, available_backends
 from repro.engine.store import ResultStore, default_store_path
+from repro.server.protocol import RECORD_MODES
 from repro.workloads import PRESETS
 
 
@@ -426,6 +432,146 @@ def cmd_cache(args: argparse.Namespace) -> int:
         store.close()
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the network serving front end until SIGTERM/SIGINT, then drain.
+
+    The listen address comes from the merged config's ``[server]``
+    section (``--host``/``--port`` override it); the rest of the config
+    is the default job config network requests overlay. On SIGTERM (or
+    Ctrl-C) the server drains gracefully — new jobs are refused with
+    503 while every accepted job runs to completion — and the process
+    exits 0 only when no in-flight request had to be cut off.
+    """
+    from repro.server import ReproServer
+
+    config = config_from_args(args)
+    overrides = {}
+    if args.host is not None:
+        overrides["server.host"] = args.host
+    if args.port is not None:
+        overrides["server.port"] = args.port
+    if overrides:
+        try:
+            config = config.with_overrides(overrides)
+        except ValueError as exc:
+            raise SystemExit(f"repro: error: {exc}") from exc
+    try:
+        server = ReproServer(config)
+    except OSError as exc:
+        raise SystemExit(f"repro: error: cannot bind "
+                         f"{config.server.host}:{config.server.port}: {exc}") from exc
+    server.start()
+    # The address line is machine-readable on purpose: test harnesses
+    # and the CI smoke drill parse the URL out of the first line.
+    print(f"repro-serve: listening on {server.url}", flush=True)
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):  # noqa: ARG001 - signal API
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    while not (stop.is_set() or server.draining):
+        stop.wait(0.1)
+    print("repro-serve: draining (finishing in-flight jobs)", flush=True)
+    clean = server.drain()
+    print(
+        f"repro-serve: drained {'cleanly' if clean else 'with timeout'}",
+        flush=True,
+    )
+    return 0 if clean else 1
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit jobs to a running ``repro serve`` endpoint concurrently.
+
+    ``--count`` jobs are fired from ``--count`` client threads at once
+    (one connection per thread), cycling through the repeatable
+    ``--tenant`` / ``--priority`` values — so one invocation exercises
+    the server's coalescing window with genuinely mixed multi-tenant
+    traffic, which is exactly what the CI serving drill needs.
+    """
+    tenants = args.tenants or [""]
+    priorities = args.priorities or [""]
+    count = args.count
+    outcomes: list[tuple[object, Exception | None]] = [(None, None)] * count
+
+    def worker(index: int) -> None:
+        client = None
+        try:
+            # Construction can raise too (malformed --url): it must land
+            # in the same per-job FAILED row as a submit error.
+            client = ServeClient(args.url, timeout=args.timeout)
+            result = client.submit(
+                args.kind,
+                tenant=tenants[index % len(tenants)],
+                priority=priorities[index % len(priorities)],
+                label=f"submit-{index}",
+                records=args.records,
+            )
+            outcomes[index] = (result, None)
+        except Exception as exc:  # noqa: BLE001 - reported per job below
+            outcomes[index] = (None, exc)
+        finally:
+            if client is not None:
+                client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(index,), name=f"submit-{index}")
+        for index in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    rows = []
+    failures = []
+    for index, (result, error) in enumerate(outcomes):
+        if error is not None:
+            failures.append(f"submit-{index}: {error}")
+            rows.append([f"submit-{index}", tenants[index % len(tenants)] or "-",
+                         priorities[index % len(priorities)] or "-",
+                         "FAILED", type(error).__name__])
+            continue
+        report = result.report
+        summary = (
+            f"{sum(run['tiles'] for run in report['runs'])} tiles"
+            if report
+            else result.result.get("type", "ok")
+        )
+        rows.append(
+            [f"submit-{index}", result.tenant, result.priority, "ok", summary]
+        )
+    table = format_table(
+        ["job", "tenant", "priority", "status", "result"],
+        rows,
+        title=f"submit — {count} job(s) to {args.url}",
+    )
+    footer = ""
+    try:
+        with ServeClient(args.url, timeout=args.timeout) as client:
+            metrics = client.metrics()
+        scheduler_stats = metrics["scheduler"]
+        dedup = metrics["server"]["dedup"]
+        footer = (
+            f"\nserver: {scheduler_stats['jobs_submitted']} job(s) submitted, "
+            f"{scheduler_stats['jobs_coalesced']} coalesced across "
+            f"{scheduler_stats['batches']} planner batch(es); "
+            f"last dedup {dedup['last_ratio']:.2f}x"
+        )
+        by_tenant = scheduler_stats.get("jobs_by_tenant") or {}
+        if by_tenant:
+            footer += "\ntenants: " + ", ".join(
+                f"{tenant}={jobs}" for tenant, jobs in sorted(by_tenant.items())
+            )
+    except Exception as exc:  # noqa: BLE001 - metrics are best-effort
+        footer = f"\nserver: metrics unavailable ({exc})"
+    print(table + footer)
+    for failure in failures:
+        print(f"repro: submit job failed: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 COMMANDS = {
     "density": cmd_density,
     "simulate": cmd_simulate,
@@ -540,6 +686,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--kind", default="run", choices=Session._QUEUEABLE,
         help="experiment to run for every config (default: run)",
     )
+    serve = subparsers.add_parser(
+        "serve", help="run the network serving front end (HTTP + JSON)"
+    )
+    _add_config_args(serve)
+    serve.add_argument(
+        "--host", default=None,
+        help="listen address (config default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="listen port, 0 = ephemeral (config default: 0); the bound "
+        "URL is printed on the first line",
+    )
+    submit = subparsers.add_parser(
+        "submit", help="submit jobs to a running `repro serve` endpoint"
+    )
+    submit.add_argument(
+        "--url", required=True, metavar="URL",
+        help="serving endpoint, e.g. http://127.0.0.1:8707",
+    )
+    submit.add_argument(
+        "--kind", default="run", choices=Session._QUEUEABLE,
+        help="experiment to run for every job (default: run)",
+    )
+    submit.add_argument(
+        "--count", type=int, default=1, metavar="N",
+        help="how many jobs to submit concurrently (default: 1)",
+    )
+    submit.add_argument(
+        "--tenant", dest="tenants", action="append", metavar="NAME",
+        default=[],
+        help="tenant to submit as (repeatable; jobs cycle through the "
+        "list, default: the server's default tenant)",
+    )
+    submit.add_argument(
+        "--priority", dest="priorities", action="append", metavar="CLASS",
+        default=[],
+        help="priority class (repeatable; jobs cycle through the list, "
+        "default: the server's first class)",
+    )
+    submit.add_argument(
+        "--records", default="digest", choices=RECORD_MODES,
+        help="record transport: full arrays, content digest, or none "
+        "(default: digest)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="per-request client timeout (default: 300)",
+    )
     cache_cmd = subparsers.add_parser(
         "cache", help="inspect or maintain the persistent result store"
     )
@@ -575,6 +770,10 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_batch(args)
     if args.command == "cache":
         return cmd_cache(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "submit":
+        return cmd_submit(args)
     config = config_from_args(args)
     if args.command == "config":
         output = config.to_json() if args.json else config.to_toml()

@@ -28,18 +28,27 @@ Comma-separated specs, each ``kind[:key=value]*``::
     poison_job:match=bad              # jobs whose label contains "bad" always fail
     store_corrupt:times=2             # corrupt 2 persistent-store entries on read
     store_io_error:match=put          # fail one store write with an OSError
+    reject_request                    # server refuses one request (503)
+    slow_request:seconds=0.2          # server stalls one request before handling
 
-``worker_crash``, ``slow_kernel``, ``engine_error``, ``store_corrupt``
-and ``store_io_error`` burn out after ``times`` triggers (0 =
-unlimited); ``poison_job`` is persistent — it models a request that
-deterministically breaks the engine, so retrying it never helps and the
-scheduler must isolate it instead.  The store kinds target the
-persistent result store (:mod:`repro.engine.store`): ``store_corrupt``
-flips bytes of an on-disk entry just before it is read (the checksum
-must catch it and quarantine the entry), ``store_io_error`` makes a
-store IO site raise ``OSError`` (the store must degrade to cache-off,
-never crash the run). ``match`` restricts either to a site substring
-(``get`` / ``put`` / ``open``).
+``worker_crash``, ``slow_kernel``, ``engine_error``, ``store_corrupt``,
+``store_io_error``, ``reject_request`` and ``slow_request`` burn out
+after ``times`` triggers (0 = unlimited); ``poison_job`` is persistent
+— it models a request that deterministically breaks the engine, so
+retrying it never helps and the scheduler must isolate it instead.  The
+store kinds target the persistent result store
+(:mod:`repro.engine.store`): ``store_corrupt`` flips bytes of an
+on-disk entry just before it is read (the checksum must catch it and
+quarantine the entry), ``store_io_error`` makes a store IO site raise
+``OSError`` (the store must degrade to cache-off, never crash the run).
+The request kinds target the network front end
+(:mod:`repro.server`): ``reject_request`` makes the server answer one
+request with a clean 503 before any scheduler work happens,
+``slow_request`` sleeps ``seconds`` before handling — the chaos drills
+use them to prove clients see crisp errors/latency, never hangs.
+``match`` restricts any of these to a site substring (``get`` /
+``put`` / ``open`` for the store, the request path — e.g. ``jobs`` —
+for the server).
 """
 
 from __future__ import annotations
@@ -66,6 +75,7 @@ __all__ = [
     "kernel_fault",
     "poison_fault",
     "refresh",
+    "request_fault",
     "store_fault",
     "worker_tick",
 ]
@@ -87,6 +97,8 @@ FAULT_KINDS = (
     "poison_job",
     "store_corrupt",
     "store_io_error",
+    "reject_request",
+    "slow_request",
 )
 
 #: Keys each spec accepts beyond its kind, with their coercions.
@@ -417,6 +429,38 @@ def _store_fault_armed(site: str) -> str | None:
         if spec.should_fire():
             _sync_env(plan)
             return verdict
+    return None
+
+
+def request_fault(site: str = "server") -> str | None:
+    """Check the serving-front-end failure points at ``site``.
+
+    Returns ``"reject"`` when an armed ``reject_request`` spec fires —
+    the server answers the request with a clean 503 and never touches
+    the scheduler; ``slow_request`` sleeps here (stalling only the one
+    request's handler thread) and returns ``None``.  ``match``
+    restricts either spec to request paths containing the substring
+    (e.g. ``match=jobs`` spares ``/healthz`` probes).
+    """
+    if _PLAN is None:
+        return None
+    return _request_fault_armed(site)
+
+
+def _request_fault_armed(site: str) -> str | None:
+    plan = active_plan()
+    if plan is None:
+        return None
+    slow = plan.get("slow_request")
+    if slow is not None and (not slow.match or slow.match in site):
+        if slow.should_fire():
+            _sync_env(plan)
+            time.sleep(slow.seconds)
+    reject = plan.get("reject_request")
+    if reject is not None and (not reject.match or reject.match in site):
+        if reject.should_fire():
+            _sync_env(plan)
+            return "reject"
     return None
 
 

@@ -28,8 +28,10 @@ Robustness contract (the whole point of this module):
   makes the last one win harmlessly.  Readers racing eviction see a
   plain miss.  No locks are shared across processes.  Misses resolve on
   an in-memory name index (snapshot at open plus our own publishes), so
-  the cold path costs no syscalls; entries published by *other*
-  processes after our open become visible on the next open.
+  the cold path costs no syscalls; the first miss after open triggers
+  one index rescan, so entries published by *other* processes after our
+  open still warm-share into this one (later publishes surface on the
+  next open).
 * **Bounded.** ``max_bytes`` caps the namespace; publishes past the
   budget evict least-recently-used entries (file mtime, refreshed on
   hit — batched onto the writer thread so hits stay syscall-free) down
@@ -179,10 +181,12 @@ class ResultStore:
         self._tmp_serial = 0
         # Name index: basenames of entries present at open plus our own
         # publishes, minus evictions/quarantines.  Misses resolve on it
-        # without a syscall (the common cold-run case); entries another
-        # process publishes after our open become visible on the next
-        # open.  Mutated only under the GIL (set add/discard/contains).
+        # without a syscall (the common cold-run case); the first miss
+        # after open rescans the directory once so entries published by
+        # another process after our open warm-share into this one.
+        # Mutated only under the GIL (set add/discard/contains).
         self._index: set[str] = set()
+        self._rescanned = False
         self._shards_made: set[str] = set()
         self._buffer: list[tuple] = []
         self._touched: list[str] = []  # hit paths pending LRU mtime refresh
@@ -345,10 +349,16 @@ class ResultStore:
             return None
         name = self._entry_name(key)
         if name not in self._index:
-            # No syscall on a definite miss — the cold-run common case.
-            with self._mutex:
-                self._misses += 1
-            return None
+            # Cross-process warm sharing: the first miss after open
+            # rescans the directory once — a store populated by another
+            # process after our open turns this miss into a hit.  Later
+            # misses are definite and cost no syscalls (cold-run case).
+            if not self._rescanned:
+                self._rescan_index()
+            if name not in self._index:
+                with self._mutex:
+                    self._misses += 1
+                return None
         pathstr = f"{self.directory}{os.sep}{name[:2]}{os.sep}{name}"
         try:
             with open(pathstr, "rb") as handle:
@@ -387,6 +397,26 @@ class ResultStore:
         with self._mutex:
             self._hits += 1
         return record
+
+    def _rescan_index(self) -> None:
+        """Refresh the name index from disk, at most once per open.
+
+        Racing readers may both pass the flag check; the double scan is
+        harmless (set adds are idempotent) and the flag flip under the
+        mutex keeps the steady state at zero extra scans.  The byte
+        counter only ever grows here — eviction rescans authoritative
+        sizes itself, so a conservative overcount is safe.
+        """
+        with self._mutex:
+            if self._rescanned:
+                return
+            self._rescanned = True
+        total = 0
+        for path, _, size in self._scan_entries():
+            self._index.add(path.name)
+            total += size
+        with self._mutex:
+            self._bytes = max(self._bytes, total)
 
     def _quarantine(self, path: Path) -> None:
         """Move a bad entry aside so it is never read again but stays

@@ -1,0 +1,36 @@
+"""repro.server — the network serving front end over the Scheduler.
+
+The ROADMAP's serving milestone: :class:`ReproServer` listens on the
+``[server]`` section's address, turns HTTP requests into scheduler
+jobs (tenancy, priority classes, quotas, deadlines all enforced by the
+scheduler itself), and maps the PR 7 failure semantics onto HTTP
+statuses. Stdlib only — ``http.server`` + JSON — so serving adds no
+dependency. Drive it with ``repro serve`` and talk to it with
+:class:`repro.api.client.ServeClient` or ``repro submit``.
+
+Layering: this package sits strictly *above* ``repro.api`` — it may
+import the scheduler and config, never the other way around (the
+client, living in ``repro.api.client``, shares only the wire-format
+module :mod:`repro.server.protocol`).
+"""
+
+from repro.server.app import ReproServer
+from repro.server.metrics import LatencyHistogram, ServerMetrics
+from repro.server.protocol import (
+    RECORD_MODES,
+    STATUS_BY_ERROR,
+    decode_records,
+    encode_records,
+    records_digest,
+)
+
+__all__ = [
+    "LatencyHistogram",
+    "RECORD_MODES",
+    "ReproServer",
+    "STATUS_BY_ERROR",
+    "ServerMetrics",
+    "decode_records",
+    "encode_records",
+    "records_digest",
+]

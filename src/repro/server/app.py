@@ -1,0 +1,417 @@
+"""The network serving front end: HTTP in, scheduler jobs out.
+
+:class:`ReproServer` binds a threaded stdlib HTTP server
+(`ThreadingHTTPServer`) to the ``[server]`` section's address and turns
+each ``POST /v1/jobs`` request into one :class:`~repro.api.Job` on a
+shared :class:`~repro.api.Scheduler`. Request handler threads block on
+their job's result, so N concurrent HTTP clients become N queued jobs
+inside one coalesce window — the scheduler merges compatible ones into
+a single trace-planner batch exactly as in-process submitters would,
+and Prosperity's cross-request product-sparsity dedup carries over the
+network unchanged. Tenancy, priority classes, quotas, deadlines, and
+admission control all live in the scheduler; the server's job is the
+wire mapping:
+
+========================  ======  =====================================
+scheduler outcome         status  body
+========================  ======  =====================================
+result                    200     ``{"ok": true, "result": ...}``
+``SchedulerSaturated``    429     tenant-scoped quota/queue message
+``DeadlineExceeded``      504     job-scoped (``job_id``, ``label``)
+``BatchExecutionError``   500     job-scoped + ``batch_size``
+validation error          400     message from RunConfig/Scheduler
+draining / injected       503     ``Draining`` / ``InjectedRejection``
+========================  ======  =====================================
+
+Observability rides on two read-only endpoints: ``GET /healthz`` (200
+serving / 503 draining) and ``GET /metrics`` (request counters, latency
+histograms, ``Scheduler.stats`` incl. store counters, live per-tenant /
+per-priority queue depths, cross-request dedup). ``POST /admin/drain``
+triggers the same graceful drain SIGTERM does: stop accepting jobs,
+finish everything in flight, then release the scheduler — zero accepted
+jobs are lost.
+
+The fault harness's ``reject_request`` / ``slow_request`` kinds hook the
+dispatch seam here (site ``server<path>``), so chaos drills can refuse
+or delay requests deterministically without touching the engine.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.api.config import RunConfig
+from repro.api.scheduler import (
+    JOB_KINDS,
+    BatchExecutionError,
+    DeadlineExceeded,
+    Job,
+    Scheduler,
+    SchedulerSaturated,
+)
+from repro.engine import faults
+from repro.server.metrics import ServerMetrics
+from repro.server.protocol import (
+    RECORD_MODES,
+    encode_result,
+    error_body,
+    merge_config_dict,
+)
+
+__all__ = ["ReproServer"]
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that knows its owning :class:`ReproServer`."""
+
+    daemon_threads = True
+    # The drain sequence joins request work itself (via the in-flight
+    # gate), so socket close must not block on handler threads again.
+    block_on_close = False
+    # The stdlib default listen backlog (5) drops SYNs when a client
+    # fleet connects at once; the kernel's ~1 s retransmit then dwarfs
+    # every request time. Deep enough for any plausible client count.
+    request_queue_size = 128
+
+    def __init__(self, address, handler, app: "ReproServer"):
+        self.app = app
+        super().__init__(address, handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    # Responses go out as two writes (header buffer, then body); with
+    # Nagle on, the body write stalls ~40 ms behind the peer's delayed
+    # ACK, capping every connection near 25 req/s regardless of work.
+    disable_nagle_algorithm = True
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # the /metrics endpoint is the observability surface
+
+    @property
+    def app(self) -> "ReproServer":
+        return self.server.app
+
+    def _send_json(self, status: int, body: dict) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        body = json.loads(raw.decode("utf-8"))
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        return body
+
+    def _discard_body(self) -> None:
+        # Refusal paths must still consume the request body: leftover
+        # bytes would be parsed as the next request line on this
+        # keep-alive connection, desyncing every later exchange.
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            self.rfile.read(length)
+
+    # -- routes ---------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path == "/healthz":
+            if self.app.draining:
+                self._send_json(503, {"status": "draining"})
+            else:
+                self._send_json(200, {"status": "ok"})
+        elif self.path == "/metrics":
+            self._send_json(200, self.app.metrics_snapshot())
+        else:
+            self._send_json(
+                404, {"ok": False, "error": {"type": "NotFound",
+                                             "message": f"no route {self.path}"}}
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path == "/admin/drain":
+            self._discard_body()
+            self.app.request_drain()
+            self._send_json(202, {"status": "draining"})
+        elif self.path == "/v1/jobs":
+            self._handle_job()
+        else:
+            self._discard_body()
+            self._send_json(
+                404, {"ok": False, "error": {"type": "NotFound",
+                                             "message": f"no route {self.path}"}}
+            )
+
+    # -- the job path ---------------------------------------------------
+    def _handle_job(self) -> None:
+        app = self.app
+        app.metrics.begin()
+        started = time.perf_counter()
+        priority = ""
+        status = 500
+        try:
+            status = self._submit_and_wait()
+        finally:
+            priority = getattr(self, "_priority", "")
+            app.metrics.record(
+                status, priority, (time.perf_counter() - started) * 1000.0
+            )
+
+    def _submit_and_wait(self) -> int:
+        """Run one job request end to end; returns the HTTP status sent."""
+        app = self.app
+        try:
+            request = self._read_body()
+        except ValueError as exc:
+            status, body = error_body("ValidationError", f"bad request body: {exc}")
+            self._send_json(status, body)
+            return status
+        # Deterministic request-level chaos: slow_request sleeps here,
+        # reject_request turns into a clean 503 before any job exists.
+        if faults.request_fault(site=f"server{self.path}") == "reject":
+            status, body = error_body(
+                "InjectedRejection", "request rejected by fault injection"
+            )
+            self._send_json(status, body)
+            return status
+        if app.draining:
+            status, body = error_body(
+                "Draining", "server is draining; not accepting new jobs"
+            )
+            self._send_json(status, body)
+            return status
+        try:
+            job, timeout_s, records_mode = app.build_job(request)
+        except ValueError as exc:
+            status, body = error_body("ValidationError", str(exc))
+            self._send_json(status, body)
+            return status
+        self._priority = job.priority or app.config.server.priorities[0]
+        try:
+            handle = app.scheduler.submit(job, timeout=timeout_s)
+        except SchedulerSaturated as exc:
+            status, body = error_body("SchedulerSaturated", str(exc))
+            self._send_json(status, body)
+            return status
+        except ValueError as exc:  # unknown tenant / priority
+            status, body = error_body("ValidationError", str(exc))
+            self._send_json(status, body)
+            return status
+        except RuntimeError as exc:  # scheduler closed under us
+            status, body = error_body("Draining", str(exc))
+            self._send_json(status, body)
+            return status
+        self._priority = handle.priority
+        try:
+            result = handle.result()
+        except DeadlineExceeded as exc:
+            status, body = error_body(
+                "DeadlineExceeded", str(exc),
+                job_id=exc.job_id, label=exc.label,
+            )
+            self._send_json(status, body)
+            return status
+        except BatchExecutionError as exc:
+            status, body = error_body(
+                "BatchExecutionError", str(exc),
+                job_id=exc.job_id, label=exc.label, batch_size=exc.batch_size,
+            )
+            self._send_json(status, body)
+            return status
+        except BaseException as exc:  # noqa: BLE001 - wire boundary
+            status, body = error_body(
+                type(exc).__name__, str(exc), job_id=handle.id,
+                label=handle.job.label,
+            )
+            self._send_json(status, body)
+            return status
+        payload = encode_result(result, records_mode)
+        report = payload.get("report")
+        if report:
+            app.metrics.observe_dedup(
+                report["planned_tiles"], report["unique_tiles"]
+            )
+        self._send_json(200, {
+            "ok": True,
+            "job_id": handle.id,
+            "tenant": handle.tenant,
+            "priority": handle.priority,
+            "kind": handle.job.kind,
+            "result": payload,
+        })
+        return 200
+
+
+class ReproServer:
+    """One serving process: an HTTP listener over one shared scheduler.
+
+    Parameters
+    ----------
+    config:
+        The server's default :class:`RunConfig`; its ``[server]``
+        section supplies the listen address, tenancy, and priorities,
+        and the rest is the default job config requests overlay.
+    scheduler:
+        An externally-owned scheduler to serve through instead of
+        constructing one (tests inject this to assert on its counters);
+        the server then never closes it.
+
+    The socket binds in the constructor (``port`` is final immediately,
+    even with ``port=0``), but no requests are served until
+    :meth:`start` launches the listener thread. :meth:`drain` — also
+    triggered by ``POST /admin/drain`` and by the CLI's SIGTERM handler
+    — performs the graceful shutdown: refuse new jobs (503), wait for
+    in-flight requests up to ``server.drain_timeout_s``, then close the
+    scheduler (which itself drains its queue) and the socket.
+    """
+
+    def __init__(self, config: RunConfig | None = None, *,
+                 scheduler: Scheduler | None = None):
+        self.config = config if config is not None else RunConfig()
+        self._config_dict = self.config.to_dict()
+        self._owns_scheduler = scheduler is None
+        self.scheduler = scheduler if scheduler is not None else Scheduler(self.config)
+        self.metrics = ServerMetrics(self.config.server.priorities)
+        self._draining = threading.Event()
+        self._closed = False
+        self._lock = threading.Lock()
+        server_cfg = self.config.server
+        self._httpd = _HTTPServer(
+            (server_cfg.host, server_cfg.port), _Handler, self
+        )
+        self._thread: threading.Thread | None = None
+
+    # -- address --------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "ReproServer":
+        """Serve requests on a background thread; returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-serve",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request_drain(self) -> None:
+        """Flip into draining mode without blocking (the endpoint path)."""
+        self._draining.set()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Graceful shutdown; True when no in-flight request was cut off.
+
+        Sequence: stop accepting jobs (``/healthz`` and new submissions
+        turn 503; ``/metrics`` keeps serving), wait up to ``timeout``
+        (default ``server.drain_timeout_s``) for in-flight requests to
+        finish, close the scheduler — draining its queue, so every
+        accepted job completes — then stop the listener. Idempotent.
+        """
+        self._draining.set()
+        with self._lock:
+            if self._closed:
+                return True
+            self._closed = True
+        if timeout is None:
+            timeout = self.config.server.drain_timeout_s
+        deadline = time.monotonic() + timeout
+        clean = True
+        while self.metrics.inflight > 0:
+            if time.monotonic() >= deadline:
+                clean = False
+                break
+            time.sleep(0.005)
+        if self._owns_scheduler:
+            self.scheduler.close(wait=True)
+        if self._thread is not None:
+            # shutdown() handshakes with serve_forever; without a live
+            # listener thread it would wait forever on an event that is
+            # only set from inside the serve loop.
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        return clean
+
+    def close(self) -> None:
+        self.drain()
+
+    # -- request helpers (called from handler threads) -------------------
+    def build_job(self, request: dict) -> tuple[Job, float | None, str]:
+        """Validate one request body into (Job, admission timeout, mode)."""
+        kind = request.get("kind", "run")
+        if kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown experiment {kind!r}; expected one of {JOB_KINDS}"
+            )
+        records_mode = request.get("records", "full")
+        if records_mode not in RECORD_MODES:
+            raise ValueError(
+                f"unknown records mode {records_mode!r}; expected one of "
+                f"{RECORD_MODES}"
+            )
+        overlay = request.get("config")
+        if overlay is not None and not isinstance(overlay, dict):
+            raise ValueError("config must be a JSON object of config sections")
+        if overlay:
+            config = RunConfig.from_dict(
+                merge_config_dict(self._config_dict, overlay)
+            )
+        else:
+            config = self.config
+        deadline_ms = request.get("deadline_ms")
+        if deadline_ms is not None:
+            deadline_ms = float(deadline_ms)
+        timeout_s = request.get("timeout_s")
+        if timeout_s is not None:
+            timeout_s = float(timeout_s)
+            if timeout_s < 0:
+                raise ValueError(f"timeout_s must be >= 0, got {timeout_s}")
+        job = Job(
+            kind=kind,
+            config=config,
+            label=str(request.get("label", "")),
+            deadline_ms=deadline_ms,
+            tenant=str(request.get("tenant", "")),
+            priority=str(request.get("priority", "")),
+        )
+        return job, timeout_s, records_mode
+
+    def metrics_snapshot(self) -> dict:
+        """The full ``/metrics`` document: server + scheduler + queue."""
+        return {
+            "server": self.metrics.snapshot(self.draining),
+            "scheduler": self.scheduler.stats,
+            "queue": self.scheduler.queue_depths(),
+        }

@@ -25,6 +25,8 @@ HELP_CASES = {
     "scaling": ["scaling", "--help"],
     "run": ["run", "--help"],
     "batch": ["batch", "--help"],
+    "serve": ["serve", "--help"],
+    "submit": ["submit", "--help"],
     "cache": ["cache", "--help"],
     "cache_stats": ["cache", "stats", "--help"],
     "tradeoff": ["tradeoff", "--help"],

@@ -223,6 +223,40 @@ class TestKernelFaults:
         faults.poison_fault([])
 
 
+class TestRequestFaults:
+    """Server-side drill kinds (ISSUE 9): ``reject_request`` turns one
+    request into a clean refusal, ``slow_request`` delays it; ``match``
+    scopes both to a request-path substring."""
+
+    def test_reject_fires_then_burns_out(self):
+        faults.install("reject_request:times=1")
+        assert faults.request_fault(site="server/v1/jobs") == "reject"
+        assert faults.request_fault(site="server/v1/jobs") is None
+
+    def test_match_scopes_to_path_substring(self):
+        faults.install("reject_request:match=jobs")
+        assert faults.request_fault(site="server/healthz") is None
+        assert faults.request_fault(site="server/v1/jobs") == "reject"
+
+    def test_slow_request_sleeps(self):
+        faults.install("slow_request:seconds=0.05:times=1")
+        started = time.perf_counter()
+        assert faults.request_fault(site="server/v1/jobs") is None
+        assert time.perf_counter() - started >= 0.05
+        started = time.perf_counter()
+        assert faults.request_fault(site="server/v1/jobs") is None
+        assert time.perf_counter() - started < 0.05  # budget burned out
+
+    def test_slow_then_reject_compose(self):
+        faults.install("slow_request:seconds=0.01,reject_request:times=1")
+        started = time.perf_counter()
+        assert faults.request_fault(site="server/v1/jobs") == "reject"
+        assert time.perf_counter() - started >= 0.01
+
+    def test_inert_without_plan(self):
+        assert faults.request_fault(site="server/v1/jobs") is None
+
+
 class TestPoolSupervision:
     def test_crash_rebuild_retry_bit_identical(self, pooled_matrix):
         oracle = FusedBackend().matrix_records(pooled_matrix, 64, 16)

@@ -488,5 +488,57 @@ class TestCrashRecovery:
             assert litter == []
 
 
+def _late_publisher(path: str) -> None:
+    """Publish entries into a store another process already has open."""
+    store = ResultStore(path, async_writes=False)
+    try:
+        store.put(make_key("late-a"), make_record(70))
+        store.put(make_key("late-b"), make_record(71))
+    finally:
+        store.close()
+
+
+class TestCrossProcessWarmShare:
+    """A second opener warm-shares entries published *after* its open:
+    the first miss triggers one on-disk index rescan (ISSUE 9)."""
+
+    def test_second_opener_sees_late_publishes(self, tmp_path):
+        ctx = multiprocessing.get_context("spawn")
+        with sync_store(tmp_path) as reader:
+            # The reader opened against an empty directory; only now
+            # does a sibling process publish.
+            publisher = ctx.Process(target=_late_publisher, args=(str(tmp_path),))
+            publisher.start()
+            publisher.join(timeout=60)
+            assert publisher.exitcode == 0
+            # First miss rescans the on-disk index: both late entries
+            # warm-share into this process as hits.
+            assert reader.get(make_key("late-a")) == make_record(70)
+            assert reader.get(make_key("late-b")) == make_record(71)
+            counters = reader.counters()
+            assert counters["store_hits"] == 2
+            assert counters["store_misses"] == 0
+
+    def test_rescan_happens_once_per_open(self, tmp_path):
+        ctx = multiprocessing.get_context("spawn")
+        with sync_store(tmp_path) as reader:
+            # Consume the one rescan on a genuinely absent key.
+            assert reader.get(make_key("never")) is None
+            publisher = ctx.Process(target=_late_publisher, args=(str(tmp_path),))
+            publisher.start()
+            publisher.join(timeout=60)
+            assert publisher.exitcode == 0
+            # Publishes after the rescan stay invisible to this open...
+            assert reader.get(make_key("late-a")) is None
+        # ...and surface on the next open, without needing a miss first.
+        with sync_store(tmp_path) as reopened:
+            assert reopened.get(make_key("late-a")) == make_record(70)
+
+    def test_rescan_does_not_mask_own_misses(self, tmp_path):
+        with sync_store(tmp_path) as store:
+            assert store.get(make_key("absent")) is None
+            assert store.counters()["store_misses"] == 1
+
+
 if __name__ == "__main__":
     sys.exit(pytest.main([__file__, "-v"]))
