@@ -33,7 +33,7 @@ from repro.workloads import FIG8_GRID, FIG11_GRID, get_trace
 # Imported last: repro.api sits above every other layer.
 from repro.api import RunConfig, Session  # noqa: E402
 
-__version__ = "1.3.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "RunConfig",

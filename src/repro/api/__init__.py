@@ -44,9 +44,11 @@ from repro.api.client import (
     ServeError,
     ServeRequestError,
     ServeResult,
+    ServeStreamChunk,
     ServeUnavailable,
 )
 from repro.api.config import (
+    STREAM_SOURCES,
     EngineConfig,
     ResilienceConfig,
     RunConfig,
@@ -54,6 +56,7 @@ from repro.api.config import (
     SchedulerConfig,
     ServerConfig,
     SimulatorConfig,
+    StreamingConfig,
     SweepConfig,
     TradeoffConfig,
     WorkloadConfig,
@@ -75,11 +78,24 @@ from repro.api.session import (
     ScalingResult,
     Session,
     SimulationResult,
+    StreamRunResult,
     SweepResult,
     TradeoffRunResult,
 )
+from repro.streaming import (
+    PoissonEventSource,
+    RecurrentSource,
+    StreamChunk,
+    StreamResult,
+    StreamRunner,
+    StreamSource,
+    StreamStalledError,
+    TraceReplaySource,
+    build_source,
+)
 
 __all__ = [
+    "STREAM_SOURCES",
     "AsyncSession",
     "BatchExecutionError",
     "DeadlineExceeded",
@@ -88,6 +104,8 @@ __all__ = [
     "EngineRunResult",
     "Job",
     "JobHandle",
+    "PoissonEventSource",
+    "RecurrentSource",
     "ResilienceConfig",
     "RunChunk",
     "RunConfig",
@@ -101,15 +119,25 @@ __all__ = [
     "ServeError",
     "ServeRequestError",
     "ServeResult",
+    "ServeStreamChunk",
     "ServeUnavailable",
     "ServerConfig",
     "Session",
-    "StreamTimeoutError",
     "SimulationResult",
     "SimulatorConfig",
+    "StreamChunk",
+    "StreamResult",
+    "StreamRunResult",
+    "StreamRunner",
+    "StreamSource",
+    "StreamStalledError",
+    "StreamTimeoutError",
+    "StreamingConfig",
     "SweepConfig",
     "SweepResult",
+    "TraceReplaySource",
     "TradeoffConfig",
     "TradeoffRunResult",
     "WorkloadConfig",
+    "build_source",
 ]

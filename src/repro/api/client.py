@@ -20,9 +20,14 @@ status  raised
 
 ``submit()`` blocks until the job completes (the server holds the
 request open); run-job records decode back to numpy arrays in ``full``
-mode, byte-identical to what ``Session.run()`` returns. The client is
-deliberately **not** thread-safe — it owns a single connection; use one
-client per thread (they are cheap) for concurrent load.
+mode, byte-identical to what ``Session.run()`` returns. ``stream()``
+opens a ``POST /v1/streams`` job over a *dedicated* connection and
+yields one :class:`ServeStreamChunk` per executed window as the server
+flushes it; the final frame's result summary is the generator's return
+value, and in-band stream errors re-raise locally with the same mapping
+as above. The client is deliberately **not** thread-safe — it owns a
+single connection; use one client per thread (they are cheap) for
+concurrent load.
 """
 
 from __future__ import annotations
@@ -37,13 +42,14 @@ from repro.api.scheduler import (
     DeadlineExceeded,
     SchedulerSaturated,
 )
-from repro.server.protocol import decode_records
+from repro.server.protocol import STATUS_BY_ERROR, decode_records
 
 __all__ = [
     "ServeClient",
     "ServeError",
     "ServeRequestError",
     "ServeResult",
+    "ServeStreamChunk",
     "ServeUnavailable",
 ]
 
@@ -102,6 +108,42 @@ class ServeResult:
             if run["name"] == name:
                 return run["records"]
         raise KeyError(f"no workload {name!r} in this result")
+
+
+class ServeStreamChunk:
+    """One streamed window frame as the wire reported it.
+
+    Mirrors :class:`~repro.streaming.StreamChunk` field-for-field; each
+    entry of ``runs`` carries its decoded numpy ``records`` array in
+    ``full`` mode (``None`` otherwise — the raw wire body stays under
+    ``"records_wire"``), so concatenating a workload's records across a
+    stream's chunks reproduces the batch array byte-for-byte.
+    """
+
+    def __init__(self, body: dict, *, job_id: int | None = None):
+        self.job_id = job_id
+        self.index: int = body["chunk"]
+        self.start_step: int = body["start_step"]
+        self.stop_step: int = body["stop_step"]
+        self.final: bool = body["final"]
+        self.seconds: float = body["seconds"]
+        self.tiles: int = body["tiles"]
+        self.planned_tiles: int = body["planned_tiles"]
+        self.unique_tiles: int = body["unique_tiles"]
+        self.cache_hits: int = body["cache_hits"]
+        self.cache_misses: int = body["cache_misses"]
+        self.runs: list[dict] = body["runs"]
+        for run in self.runs:
+            wire = run.pop("records")
+            run["records_wire"] = wire
+            run["records"] = decode_records(wire)
+
+    def records(self, name: str):
+        """Decoded records for one workload by name (full mode)."""
+        for run in self.runs:
+            if run["name"] == name:
+                return run["records"]
+        raise KeyError(f"no workload {name!r} in this chunk")
 
 
 def _raise_for_error(status: int, body: dict) -> None:
@@ -220,6 +262,93 @@ class ServeClient:
         if status != 200:
             _raise_for_error(status, body)
         return ServeResult(body)
+
+    def stream(
+        self,
+        *,
+        config: RunConfig | dict | None = None,
+        tenant: str = "",
+        priority: str = "",
+        label: str = "",
+        deadline_ms: float | None = None,
+        timeout_s: float | None = None,
+        records: str = "full",
+    ):
+        """Open one streaming job; yields a :class:`ServeStreamChunk`
+        per executed window as the server flushes it.
+
+        A generator: the final frame's result summary (the
+        ``StreamResult`` dict) is the generator's *return value* —
+        capture it with ``yield from`` or :class:`StopIteration`'s
+        ``value``. Pre-admission failures raise with the same mapping
+        as :meth:`submit`; mid-stream failures arrive as the in-band
+        final frame and re-raise here by their ``error.type``.
+
+        Each stream runs over its own dedicated connection, so a
+        long-lived stream never blocks this client's request
+        connection — concurrent ``submit()`` calls stay legal.
+        """
+        request: dict = {"records": records}
+        if config is not None:
+            request["config"] = (
+                config.to_dict() if isinstance(config, RunConfig) else config
+            )
+        if tenant:
+            request["tenant"] = tenant
+        if priority:
+            request["priority"] = priority
+        if label:
+            request["label"] = label
+        if deadline_ms is not None:
+            request["deadline_ms"] = deadline_ms
+        if timeout_s is not None:
+            request["timeout_s"] = timeout_s
+        payload = json.dumps(request).encode("utf-8")
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request(
+                "POST", "/v1/streams", body=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    parsed = json.loads(raw.decode("utf-8")) if raw else {}
+                except ValueError as exc:
+                    raise ServeError(
+                        f"non-JSON response (HTTP {response.status}): "
+                        f"{raw[:200]!r}",
+                        status=response.status,
+                    ) from exc
+                _raise_for_error(response.status, parsed)
+            # http.client de-chunks transparently; each readline() is
+            # one NDJSON frame, available the moment the server flushes.
+            header = json.loads(response.readline())
+            job_id = header.get("job_id")
+            while True:
+                line = response.readline()
+                if not line:
+                    raise ServeError(
+                        "stream ended without a final frame", status=200
+                    )
+                frame = json.loads(line)
+                if frame.get("done"):
+                    # Drain the chunked terminator so the socket closes
+                    # cleanly (an unread tail would RST the server).
+                    response.read()
+                    error = frame.get("error")
+                    if error:
+                        status = STATUS_BY_ERROR.get(
+                            error.get("type", ""), 500
+                        )
+                        _raise_for_error(status, {"error": error})
+                    return frame["result"]
+                yield ServeStreamChunk(frame, job_id=job_id)
+        finally:
+            conn.close()
 
     def metrics(self) -> dict:
         status, body = self._request("GET", "/metrics")

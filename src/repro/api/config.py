@@ -70,7 +70,9 @@ __all__ = [
     "SamplingConfig",
     "SchedulerConfig",
     "ServerConfig",
+    "STREAM_SOURCES",
     "SimulatorConfig",
+    "StreamingConfig",
     "SweepConfig",
     "TradeoffConfig",
     "WorkloadConfig",
@@ -246,6 +248,40 @@ class CacheConfig:
     verify: str = "checksum"
 
 
+#: Stream source kinds :mod:`repro.streaming` provides.
+STREAM_SOURCES = ("replay", "poisson", "recurrent")
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """Sliding-window streaming inference (:mod:`repro.streaming`).
+
+    ``window`` is how many event-stream timesteps one planner batch
+    covers; ``hop`` is how far the window advances per chunk (``0``
+    means ``window`` — tumbling, non-overlapping windows; a smaller hop
+    re-delivers overlap timesteps as context, e.g. for recurrent
+    sources, without re-planning their rows). ``max_inflight_windows``
+    bounds how many windows may be buffered ahead of the consumer
+    before the source is backpressured. ``source`` picks the event
+    source: ``"replay"`` replays the ``[workload]`` trace as a
+    timestep stream, ``"poisson"`` draws seeded synthetic spikes at
+    ``rate`` (``rows`` x ``cols`` per step for ``steps`` steps), and
+    ``"recurrent"`` steps the recurrent cell model with carried hidden
+    state. ``stall_timeout_s`` bounds how long the runner waits on a
+    silent source before raising ``StreamStalledError`` (0 = forever).
+    """
+
+    window: int = 4
+    hop: int = 0
+    max_inflight_windows: int = 2
+    source: str = "replay"
+    stall_timeout_s: float = 5.0
+    rate: float = 0.15
+    rows: int = 256
+    cols: int = 64
+    steps: int = 16
+
+
 _SECTIONS: dict[str, type] = {
     "workload": WorkloadConfig,
     "engine": EngineConfig,
@@ -257,6 +293,7 @@ _SECTIONS: dict[str, type] = {
     "resilience": ResilienceConfig,
     "cache": CacheConfig,
     "server": ServerConfig,
+    "streaming": StreamingConfig,
 }
 
 
@@ -358,6 +395,7 @@ class RunConfig:
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
     server: ServerConfig = field(default_factory=ServerConfig)
+    streaming: StreamingConfig = field(default_factory=StreamingConfig)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -504,6 +542,44 @@ class RunConfig:
                 f"unknown verify policy {cache.verify!r}; choose from "
                 + ", ".join(VERIFY_POLICIES)
             )
+        streaming = self.streaming
+        if streaming.window < 1:
+            raise ValueError(
+                f"streaming window must be >= 1, got {streaming.window}"
+            )
+        if not 0 <= streaming.hop <= streaming.window:
+            raise ValueError(
+                f"streaming hop must be in 0..window ({streaming.window}), "
+                f"got {streaming.hop}"
+            )
+        if streaming.max_inflight_windows < 1:
+            raise ValueError(
+                "streaming max_inflight_windows must be >= 1, got "
+                f"{streaming.max_inflight_windows}"
+            )
+        if streaming.source not in STREAM_SOURCES:
+            raise ValueError(
+                f"unknown stream source {streaming.source!r}; expected one "
+                f"of {STREAM_SOURCES}"
+            )
+        if streaming.stall_timeout_s < 0:
+            raise ValueError(
+                "streaming stall_timeout_s must be >= 0 (0 = no timeout), "
+                f"got {streaming.stall_timeout_s}"
+            )
+        if not 0.0 < streaming.rate <= 1.0:
+            raise ValueError(
+                f"streaming rate must be in (0, 1], got {streaming.rate}"
+            )
+        for name, value in (
+            ("rows", streaming.rows),
+            ("cols", streaming.cols),
+            ("steps", streaming.steps),
+        ):
+            if value < 1:
+                raise ValueError(
+                    f"streaming {name} must be >= 1, got {value}"
+                )
 
     # -- dict / file round-trip ----------------------------------------
     def to_dict(self) -> dict:

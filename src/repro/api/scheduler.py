@@ -59,7 +59,13 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro.api.config import RunConfig, engine_backend_options
-from repro.api.session import EngineRunResult, RunChunk, RunResult, Session
+from repro.api.session import (
+    EngineRunResult,
+    RunChunk,
+    RunResult,
+    Session,
+    StreamRunResult,
+)
 from repro.engine import EngineReport, ProsperityEngine, WorkloadRun
 from repro.engine import faults
 from repro.engine.parallel import PoolBrokenError
@@ -594,8 +600,15 @@ class Scheduler:
                 raise ValueError(
                     "pass the config inside the Job (or use submit(kind, config))"
                 )
-        if stream and job.kind != "run":
-            raise ValueError(f"streaming is only supported for 'run' jobs, got {job.kind!r}")
+        if job.kind == "stream":
+            # Stream jobs always deliver per-window chunks — the whole
+            # point of the kind — so the handle is streaming regardless.
+            stream = True
+        if stream and job.kind not in ("run", "stream"):
+            raise ValueError(
+                f"streaming is only supported for 'run' and 'stream' jobs, "
+                f"got {job.kind!r}"
+            )
         return self._enqueue([self._handle_for(job, stream, chunk)], timeout)[0]
 
     def submit_many(self, jobs, timeout: float | None = None) -> list[JobHandle]:
@@ -898,7 +911,14 @@ class Scheduler:
             try:
                 faults.poison_fault([handle.job.label], site="scheduler.single")
                 session = self._session_for(handle.config)
-                result = getattr(session, handle.job.kind)()
+                if handle.job.kind == "stream":
+                    # Session.stream() (the per-workload batch-run
+                    # stream) is a different method; the "stream" job
+                    # kind drives stream_source() window by window,
+                    # relaying chunks through the handle as they finish.
+                    result = self._drive_stream(handle, session)
+                else:
+                    result = getattr(session, handle.job.kind)()
             except BaseException as exc:  # noqa: BLE001 - delivered via the future
                 if attempt < retries and self._transient(exc):
                     self.jobs_retried += 1
@@ -910,6 +930,28 @@ class Scheduler:
                 handle.future.set_result(result)
             break
         handle._finish_stream()
+
+    @staticmethod
+    def _drive_stream(handle: JobHandle, session: Session) -> "StreamRunResult":
+        """Pump one sliding-window stream job on the dispatcher thread.
+
+        Chunks flow through the handle as windows complete; the future
+        resolves to a :class:`~repro.api.session.StreamRunResult`
+        wrapping the stream's final result. Runs on the dispatcher like
+        every other single job, so window execution is serialized
+        against coalesced batches on the shared engine.
+        """
+        started = time.perf_counter()
+        generator = session.stream_source()
+        try:
+            while True:
+                handle._push_chunk(next(generator))
+        except StopIteration as stop:
+            return StreamRunResult(
+                config=handle.config,
+                seconds=time.perf_counter() - started,
+                result=stop.value,
+            )
 
     def _run_coalesced(self, handles: list[JobHandle]) -> None:
         """One planner batch for a whole group of compatible run jobs.

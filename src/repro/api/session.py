@@ -67,6 +67,7 @@ from repro.engine import (
 )
 from repro.engine.store import open_store
 from repro.snn.trace import ModelTrace
+from repro.streaming import StreamResult, StreamRunner, StreamSource, build_source
 from repro.workloads import get_trace
 
 __all__ = [
@@ -77,6 +78,7 @@ __all__ = [
     "ScalingResult",
     "Session",
     "SimulationResult",
+    "StreamRunResult",
     "SweepResult",
     "TradeoffRunResult",
 ]
@@ -182,6 +184,27 @@ class TradeoffRunResult(RunResult):
     result: TradeoffResult = None  # type: ignore[assignment]
 
 
+@dataclass(frozen=True)
+class StreamRunResult(RunResult):
+    """A ``"stream"`` scheduler job's final outcome.
+
+    Wraps the :class:`~repro.streaming.StreamResult` the underlying
+    :meth:`Session.stream_source` generator returned; ``report`` exposes
+    its :class:`~repro.engine.EngineReport` (``plan == "stream"``) for
+    consumers that already understand engine reports.
+    """
+
+    result: StreamResult = None  # type: ignore[assignment]
+
+    @property
+    def report(self) -> EngineReport:
+        return self.result.report
+
+    @property
+    def profile(self) -> dict[str, float]:
+        return dict(self.result.report.profile)
+
+
 class Session:
     """Config-driven facade over the engine, simulator, and analysis layers.
 
@@ -205,7 +228,15 @@ class Session:
     :meth:`close` (or the context manager) releases it.
     """
 
-    _QUEUEABLE = ("run", "simulate", "sweep", "density", "scaling", "tradeoff")
+    _QUEUEABLE = (
+        "run",
+        "simulate",
+        "sweep",
+        "density",
+        "scaling",
+        "tradeoff",
+        "stream",
+    )
 
     def __init__(
         self,
@@ -497,7 +528,9 @@ class Session:
         """Queue an experiment for asynchronous execution.
 
         ``kind`` names any experiment method (``"run"``, ``"simulate"``,
-        ``"sweep"``, ``"density"``, ``"scaling"``, ``"tradeoff"``).
+        ``"sweep"``, ``"density"``, ``"scaling"``, ``"tradeoff"``, or
+        ``"stream"`` — a sliding-window streaming job whose scheduler
+        handle additionally yields per-window chunks).
         Submissions from any thread are routed through the session's
         :class:`~repro.api.scheduler.Scheduler`, which serializes
         execution against the shared engine — the safe default for
@@ -532,3 +565,37 @@ class Session:
         handle = self.scheduler.submit("run", stream=True, chunk=chunk)
         yield from handle.chunks()
         return handle.result()
+
+    def stream_source(self, source: StreamSource | None = None):
+        """Sliding-window streaming inference over an event-trace source.
+
+        Yields one :class:`~repro.streaming.StreamChunk` per executed
+        window and returns (``StopIteration.value``) the final
+        :class:`~repro.streaming.StreamResult`. ``source`` defaults to
+        whatever the ``[streaming]`` config section names (``replay`` /
+        ``poisson`` / ``recurrent``); window geometry, in-flight budget,
+        and the stall timeout also come from that section. Records are
+        bit-identical to a batch :meth:`run` of the source's equivalent
+        whole trace — tiles assemble at global matrix boundaries, and
+        cross-window dedup rides the session engine's cache tiers.
+
+        The session lock is held only while building the runner, not for
+        the stream's lifetime: windows execute under the shared
+        planner's ``exclusive()`` lock, so concurrent batch runs
+        serialize per window rather than blocking for the whole stream.
+        """
+        with self._lock:
+            self._check_open()
+            streaming = self.config.streaming
+            if source is None:
+                source = build_source(self.config)
+            runner = StreamRunner(
+                source,
+                self.engine,
+                window=streaming.window,
+                hop=streaming.hop,
+                max_inflight_windows=streaming.max_inflight_windows,
+                stall_timeout_s=streaming.stall_timeout_s,
+            )
+        result = yield from runner.run()
+        return result

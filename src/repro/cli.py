@@ -24,6 +24,8 @@ Examples
     repro batch    --config a.toml --config b.toml --set engine.backend=fused
     repro serve    --config serve.toml --port 8707
     repro submit   --url http://127.0.0.1:8707 --count 8 --tenant acme
+    repro stream   --model lenet5 --dataset mnist --window 4
+    repro stream   --source poisson --url http://127.0.0.1:8707
     repro --version
 
 (Also runnable as ``python -m repro.cli`` when not installed.)
@@ -39,8 +41,16 @@ from importlib import metadata
 
 from repro.analysis.report import format_percent, format_ratio, format_table
 from repro.analysis.tradeoff import breakeven_sparsity_increase
-from repro.api import EngineRunResult, Job, RunConfig, Scheduler, Session
-from repro.api.client import ServeClient
+from repro.api import (
+    STREAM_SOURCES,
+    EngineRunResult,
+    Job,
+    RunConfig,
+    Scheduler,
+    Session,
+    StreamStalledError,
+)
+from repro.api.client import ServeClient, ServeError
 from repro.engine import PLAN_MODES, available_backends
 from repro.engine.store import ResultStore, default_store_path
 from repro.server.protocol import RECORD_MODES
@@ -72,6 +82,9 @@ _FLAG_KEYS = {
     "cache_size": "engine.cache_size",
     "verify": "engine.verify",
     "sparsity_increase": "tradeoff.sparsity_increase",
+    "stream_source": "streaming.source",
+    "window": "streaming.window",
+    "hop": "streaming.hop",
 }
 
 
@@ -572,6 +585,100 @@ def cmd_submit(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Sliding-window streaming inference, in-process or over the wire.
+
+    One line prints per executed window *as it completes* — the command
+    is a live tail of the stream, not a batch report — followed by a
+    throughput/dedup summary. With ``--url`` the same stream runs on a
+    remote ``repro serve`` endpoint via ``POST /v1/streams`` (the merged
+    local config travels as the request config), and the lines render
+    from the NDJSON frames as the server flushes them.
+    """
+    config = config_from_args(args)
+
+    def chunk_line(index, start, stop, tiles, planned, unique, seconds) -> str:
+        dedup = (planned / unique) if unique else 1.0
+        return (
+            f"chunk {index:>3}  steps [{start:>3},{stop:>3})  "
+            f"{tiles:>5} tiles  {dedup:.2f}x dedup  {seconds * 1e3:7.1f} ms"
+        )
+
+    if args.url:
+        client = ServeClient(args.url, timeout=args.timeout)
+        try:
+            generator = client.stream(config=config, records=args.records)
+            while True:
+                try:
+                    chunk = next(generator)
+                except StopIteration as stop:
+                    final = stop.value
+                    break
+                print(
+                    chunk_line(
+                        chunk.index, chunk.start_step, chunk.stop_step,
+                        chunk.tiles, chunk.planned_tiles,
+                        chunk.unique_tiles, chunk.seconds,
+                    ),
+                    flush=True,
+                )
+        except ServeError as exc:
+            # Mid-stream failures arrive as an in-band error frame (the
+            # HTTP status is already 200); report them like a failed
+            # submit — typed, job-scoped, exit 1 — not a traceback.
+            name = getattr(exc, "error_type", "") or type(exc).__name__
+            print(f"stream FAILED: {name}: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            client.close()
+        report = final["report"]
+        print(
+            f"\nstream — {report['model']} via {args.url}: "
+            f"{final['windows']} window(s) over {final['steps']} step(s)"
+        )
+        print(
+            f"throughput: {report['tiles_per_sec']:,.0f} tiles/sec over "
+            f"{report['total_tiles']} tiles; cross-window dedup "
+            f"{final['dedup_ratio']:.2f}x; forest cache "
+            f"{report['cache_hits']} hits / {report['cache_misses']} misses"
+        )
+        return 0
+    with Session(config) as session:
+        generator = session.stream_source()
+        try:
+            while True:
+                try:
+                    chunk = next(generator)
+                except StopIteration as stop:
+                    result = stop.value
+                    break
+                print(
+                    chunk_line(
+                        chunk.index, chunk.start_step, chunk.stop_step,
+                        chunk.tiles, chunk.planned_tiles, chunk.unique_tiles,
+                        chunk.seconds,
+                    ),
+                    flush=True,
+                )
+        except StreamStalledError as exc:
+            print(
+                f"stream FAILED: StreamStalledError: {exc}", file=sys.stderr
+            )
+            return 1
+    report = result.report
+    print(
+        f"\nstream — {report.model} ({config.streaming.source}): "
+        f"{result.windows} window(s) over {result.steps} step(s)"
+    )
+    print(
+        f"throughput: {report.tiles_per_sec:,.0f} tiles/sec over "
+        f"{report.total_tiles} tiles; cross-window dedup "
+        f"{result.dedup_ratio:.2f}x; forest cache "
+        f"{report.cache_hits} hits / {report.cache_misses} misses"
+    )
+    return 0
+
+
 COMMANDS = {
     "density": cmd_density,
     "simulate": cmd_simulate,
@@ -735,6 +842,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=300.0, metavar="SECONDS",
         help="per-request client timeout (default: 300)",
     )
+    stream = subparsers.add_parser(
+        "stream", help="sliding-window streaming inference over event traces"
+    )
+    _add_config_args(stream)
+    # Streams transform every tile of every window (no sampling), the
+    # same contract as `repro run`.
+    _add_workload_args(stream, sampling=False)
+    _add_backend_args(stream)
+    stream.add_argument(
+        "--source", dest="stream_source", default=None, choices=STREAM_SOURCES,
+        help="event source: replay the workload trace, Poisson events, or "
+        "a recurrent cell (config default: replay)",
+    )
+    stream.add_argument(
+        "--window", type=int, default=None,
+        help="timesteps per planner window (config default: 4)",
+    )
+    stream.add_argument(
+        "--hop", type=int, default=None,
+        help="window advance in timesteps, 0 = non-overlapping "
+        "(config default: 0)",
+    )
+    stream.add_argument(
+        "--url", default=None, metavar="URL",
+        help="stream over the wire via POST /v1/streams on a running "
+        "`repro serve` endpoint instead of in-process",
+    )
+    stream.add_argument(
+        "--records", default="digest", choices=RECORD_MODES,
+        help="record transport for --url mode (default: digest)",
+    )
+    stream.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="client timeout for --url mode (default: 300)",
+    )
     cache_cmd = subparsers.add_parser(
         "cache", help="inspect or maintain the persistent result store"
     )
@@ -774,6 +916,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_serve(args)
     if args.command == "submit":
         return cmd_submit(args)
+    if args.command == "stream":
+        return cmd_stream(args)
     config = config_from_args(args)
     if args.command == "config":
         output = config.to_json() if args.json else config.to_toml()

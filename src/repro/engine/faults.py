@@ -30,6 +30,7 @@ Comma-separated specs, each ``kind[:key=value]*``::
     store_io_error:match=put          # fail one store write with an OSError
     reject_request                    # server refuses one request (503)
     slow_request:seconds=0.2          # server stalls one request before handling
+    stream_stall:seconds=0.5          # a stream source stops emitting
 
 ``worker_crash``, ``slow_kernel``, ``engine_error``, ``store_corrupt``,
 ``store_io_error``, ``reject_request`` and ``slow_request`` burn out
@@ -46,9 +47,13 @@ The request kinds target the network front end
 request with a clean 503 before any scheduler work happens,
 ``slow_request`` sleeps ``seconds`` before handling — the chaos drills
 use them to prove clients see crisp errors/latency, never hangs.
-``match`` restricts any of these to a site substring (``get`` /
-``put`` / ``open`` for the store, the request path — e.g. ``jobs`` —
-for the server).
+``stream_stall`` targets the streaming subsystem
+(:mod:`repro.streaming`): the source goes silent for ``seconds`` before
+one emission, which a ``StreamRunner`` with a shorter stall timeout
+surfaces as a typed ``StreamStalledError`` instead of hanging the
+consumer.  ``match`` restricts any of these to a site substring
+(``get`` / ``put`` / ``open`` for the store, the request path — e.g.
+``jobs`` — for the server, the source name for streams).
 """
 
 from __future__ import annotations
@@ -77,6 +82,7 @@ __all__ = [
     "refresh",
     "request_fault",
     "store_fault",
+    "stream_fault",
     "worker_tick",
 ]
 
@@ -99,6 +105,7 @@ FAULT_KINDS = (
     "store_io_error",
     "reject_request",
     "slow_request",
+    "stream_stall",
 )
 
 #: Keys each spec accepts beyond its kind, with their coercions.
@@ -461,6 +468,36 @@ def _request_fault_armed(site: str) -> str | None:
         if reject.should_fire():
             _sync_env(plan)
             return "reject"
+    return None
+
+
+def stream_fault(site: str = "stream") -> float | None:
+    """Check the ``stream_stall`` point at ``site``.
+
+    Returns the stall duration in seconds when an armed spec fires,
+    ``None`` otherwise.  The streaming runner acts on the verdict itself
+    (going silent for that long before the next emission) so the hook
+    stays a pure trigger and the stall lives exactly at the source seam
+    the ``StreamStalledError`` timeout watches.  ``match`` restricts the
+    spec to sites containing the substring (e.g. the source name).
+    """
+    if _PLAN is None:
+        return None
+    return _stream_fault_armed(site)
+
+
+def _stream_fault_armed(site: str) -> float | None:
+    plan = active_plan()
+    if plan is None:
+        return None
+    spec = plan.get("stream_stall")
+    if spec is None:
+        return None
+    if spec.match and spec.match not in site:
+        return None
+    if spec.should_fire():
+        _sync_env(plan)
+        return spec.seconds
     return None
 
 

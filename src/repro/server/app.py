@@ -23,6 +23,13 @@ validation error          400     message from RunConfig/Scheduler
 draining / injected       503     ``Draining`` / ``InjectedRejection``
 ========================  ======  =====================================
 
+``POST /v1/streams`` serves the streaming path: the same request body
+(``kind`` is implicitly ``"stream"``), answered with chunked NDJSON —
+one frame per executed window as it completes, then a final
+result-or-error frame in-band (see :mod:`repro.server.protocol` for the
+framing). Per-stream counters and window latencies join ``/metrics``
+under ``server.streams``.
+
 Observability rides on two read-only endpoints: ``GET /healthz`` (200
 serving / 503 draining) and ``GET /metrics`` (request counters, latency
 histograms, ``Scheduler.stats`` incl. store counters, live per-tenant /
@@ -57,6 +64,8 @@ from repro.server.metrics import ServerMetrics
 from repro.server.protocol import (
     RECORD_MODES,
     encode_result,
+    encode_stream_chunk,
+    encode_stream_result,
     error_body,
     merge_config_dict,
 )
@@ -144,6 +153,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(202, {"status": "draining"})
         elif self.path == "/v1/jobs":
             self._handle_job()
+        elif self.path == "/v1/streams":
+            self._handle_stream()
         else:
             self._discard_body()
             self._send_json(
@@ -248,6 +259,131 @@ class _Handler(BaseHTTPRequestHandler):
             "kind": handle.job.kind,
             "result": payload,
         })
+        return 200
+
+
+    # -- the stream path ------------------------------------------------
+    def _handle_stream(self) -> None:
+        app = self.app
+        app.metrics.begin()
+        started = time.perf_counter()
+        status = 500
+        try:
+            status = self._stream_job()
+        finally:
+            priority = getattr(self, "_priority", "")
+            app.metrics.record(
+                status, priority, (time.perf_counter() - started) * 1000.0
+            )
+
+    def _send_stream_frame(self, body: dict) -> None:
+        """One NDJSON line, framed and flushed as one HTTP chunk."""
+        data = json.dumps(body).encode("utf-8") + b"\n"
+        self.wfile.write(b"%x\r\n" % len(data) + data + b"\r\n")
+        self.wfile.flush()
+
+    def _stream_job(self) -> int:
+        """Run one ``/v1/streams`` request; returns the HTTP status sent.
+
+        Every pre-admission failure is an ordinary JSON error response
+        with the same status mapping as ``/v1/jobs``. Once the job is
+        admitted, ``200`` and the chunked headers are on the wire, so
+        any later failure becomes the in-band final error frame.
+        """
+        app = self.app
+        try:
+            request = self._read_body()
+        except ValueError as exc:
+            status, body = error_body("ValidationError", f"bad request body: {exc}")
+            self._send_json(status, body)
+            return status
+        if faults.request_fault(site=f"server{self.path}") == "reject":
+            status, body = error_body(
+                "InjectedRejection", "request rejected by fault injection"
+            )
+            self._send_json(status, body)
+            return status
+        if app.draining:
+            status, body = error_body(
+                "Draining", "server is draining; not accepting new jobs"
+            )
+            self._send_json(status, body)
+            return status
+        request = dict(request)
+        request.setdefault("kind", "stream")
+        try:
+            if request["kind"] != "stream":
+                raise ValueError(
+                    f"/v1/streams serves kind 'stream', got {request['kind']!r}"
+                )
+            job, timeout_s, records_mode = app.build_job(request)
+        except ValueError as exc:
+            status, body = error_body("ValidationError", str(exc))
+            self._send_json(status, body)
+            return status
+        self._priority = job.priority or app.config.server.priorities[0]
+        try:
+            handle = app.scheduler.submit(job, timeout=timeout_s)
+        except SchedulerSaturated as exc:
+            status, body = error_body("SchedulerSaturated", str(exc))
+            self._send_json(status, body)
+            return status
+        except ValueError as exc:  # unknown tenant / priority
+            status, body = error_body("ValidationError", str(exc))
+            self._send_json(status, body)
+            return status
+        except RuntimeError as exc:  # scheduler closed under us
+            status, body = error_body("Draining", str(exc))
+            self._send_json(status, body)
+            return status
+        self._priority = handle.priority
+        app.metrics.begin_stream()
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        # Streams are one-shot by design (clients dedicate a connection
+        # per stream); closing after the final frame frees the handler
+        # thread instead of parking it on a keep-alive read.
+        self.close_connection = True
+        self._send_stream_frame({
+            "ok": True,
+            "job_id": handle.id,
+            "tenant": handle.tenant,
+            "priority": handle.priority,
+            "kind": handle.job.kind,
+        })
+        try:
+            for chunk in handle.chunks():
+                app.metrics.observe_stream_window(chunk.seconds)
+                self._send_stream_frame(
+                    encode_stream_chunk(chunk, records_mode)
+                )
+            result = handle.result()
+        except BaseException as exc:  # noqa: BLE001 - wire boundary
+            detail = {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "job_id": handle.id,
+            }
+            if handle.job.label:
+                detail["label"] = handle.job.label
+            app.metrics.end_stream(failed=True)
+            self._send_stream_frame({"done": True, "error": detail})
+            self.wfile.write(b"0\r\n\r\n")
+            self.wfile.flush()
+            return 200
+        stream_result = result.result
+        app.metrics.end_stream(
+            failed=False,
+            planned_tiles=stream_result.report.planned_tiles,
+            unique_tiles=stream_result.report.unique_tiles,
+        )
+        self._send_stream_frame(
+            {"done": True, "result": encode_stream_result(stream_result)}
+        )
+        self.wfile.write(b"0\r\n\r\n")
+        self.wfile.flush()
         return 200
 
 

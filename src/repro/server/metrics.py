@@ -88,6 +88,16 @@ class ServerMetrics:
         self.last_planned_tiles = 0
         self.last_unique_tiles = 0
         self.best_dedup_ratio = 0.0
+        # Streaming (/v1/streams): streams opened/completed, windows
+        # served, per-window execution latency, and the cross-window
+        # dedup of the most recently completed stream.
+        self.streams_total = 0
+        self.streams_completed = 0
+        self.streams_failed = 0
+        self.stream_windows_total = 0
+        self.stream_window_latency = LatencyHistogram()
+        self.last_stream_planned_tiles = 0
+        self.last_stream_unique_tiles = 0
 
     # -- request lifecycle ----------------------------------------------
     def begin(self) -> None:
@@ -104,6 +114,30 @@ class ServerMetrics:
         histogram = self.latency_by_priority.get(priority)
         if histogram is not None:
             histogram.observe(ms)
+
+    # -- streaming lifecycle --------------------------------------------
+    def begin_stream(self) -> None:
+        with self._lock:
+            self.streams_total += 1
+
+    def observe_stream_window(self, seconds: float) -> None:
+        """Book one served window: count plus execution-latency bucket."""
+        with self._lock:
+            self.stream_windows_total += 1
+        self.stream_window_latency.observe(seconds * 1000.0)
+
+    def end_stream(
+        self, *, failed: bool, planned_tiles: int = 0, unique_tiles: int = 0
+    ) -> None:
+        """Close out one stream; a completed stream reports its dedup."""
+        with self._lock:
+            if failed:
+                self.streams_failed += 1
+                return
+            self.streams_completed += 1
+            if planned_tiles > 0 and unique_tiles > 0:
+                self.last_stream_planned_tiles = planned_tiles
+                self.last_stream_unique_tiles = unique_tiles
 
     def observe_dedup(self, planned_tiles: int, unique_tiles: int) -> None:
         if planned_tiles <= 0 or unique_tiles <= 0:
@@ -122,6 +156,12 @@ class ServerMetrics:
             planned = self.last_planned_tiles
             unique = self.last_unique_tiles
             best = self.best_dedup_ratio
+            streams_total = self.streams_total
+            streams_completed = self.streams_completed
+            streams_failed = self.streams_failed
+            windows_total = self.stream_windows_total
+            stream_planned = self.last_stream_planned_tiles
+            stream_unique = self.last_stream_unique_tiles
         return {
             "draining": draining,
             "requests_total": total,
@@ -139,5 +179,15 @@ class ServerMetrics:
                     priority: histogram.snapshot()
                     for priority, histogram in self.latency_by_priority.items()
                 },
+            },
+            "streams": {
+                "total": streams_total,
+                "completed": streams_completed,
+                "failed": streams_failed,
+                "windows_total": windows_total,
+                "window_latency_ms": self.stream_window_latency.snapshot(),
+                "last_dedup_ratio": (
+                    (stream_planned / stream_unique) if stream_unique else 0.0
+                ),
             },
         }

@@ -35,6 +35,20 @@ holds for ``full``:
 * ``digest`` — dtype + shape + BLAKE2b of the bytes; enough to *prove*
   identity without shipping megabytes (the throughput benchmark mode).
 * ``none`` — tile count only.
+
+Streams (``POST /v1/streams``) take the same request body (``kind`` is
+implicitly ``"stream"``) but answer with ``Transfer-Encoding: chunked``
+NDJSON — one JSON object per line, flushed per window:
+
+1. a header frame ``{"ok": true, "job_id", "tenant", "priority",
+   "kind": "stream"}``;
+2. one :func:`encode_stream_chunk` frame per executed window, records
+   in the requested transport mode;
+3. a final frame ``{"done": true, "result": ...}`` from
+   :func:`encode_stream_result` — or ``{"done": true, "error": ...}``
+   when the stream failed mid-flight (the HTTP status is long gone by
+   then, so stream errors are always in-band; ``error.type`` maps back
+   to the :data:`STATUS_BY_ERROR` semantics client-side).
 """
 
 from __future__ import annotations
@@ -52,6 +66,8 @@ __all__ = [
     "decode_records",
     "encode_records",
     "encode_result",
+    "encode_stream_chunk",
+    "encode_stream_result",
     "error_body",
     "merge_config_dict",
     "records_digest",
@@ -137,6 +153,79 @@ def encode_result(result: RunResult, records_mode: str) -> dict:
                     "tiles": run.tiles,
                     "seconds": run.seconds,
                     "records": encode_records(run.records, records_mode),
+                }
+                for run in report.runs
+            ],
+        },
+    }
+
+
+def encode_stream_chunk(chunk, records_mode: str) -> dict:
+    """One NDJSON frame for one executed stream window.
+
+    ``chunk`` is a :class:`~repro.streaming.StreamChunk`; per-workload
+    records travel in the requested transport mode, so a ``full``-mode
+    client can reassemble the batch-identical record arrays by
+    concatenating frames per workload name.
+    """
+    return {
+        "chunk": chunk.index,
+        "start_step": chunk.start_step,
+        "stop_step": chunk.stop_step,
+        "final": chunk.final,
+        "seconds": chunk.seconds,
+        "tiles": chunk.tiles,
+        "planned_tiles": chunk.planned_tiles,
+        "unique_tiles": chunk.unique_tiles,
+        "cache_hits": chunk.cache_hits,
+        "cache_misses": chunk.cache_misses,
+        "runs": [
+            {
+                "name": run.name,
+                "kind": run.kind,
+                "tiles": run.tiles,
+                "records": encode_records(run.records, records_mode),
+            }
+            for run in chunk.runs
+        ],
+    }
+
+
+def encode_stream_result(result) -> dict:
+    """The final NDJSON frame's payload for a completed stream.
+
+    ``result`` is a :class:`~repro.streaming.StreamResult`. The chunks
+    already shipped every record, so per-workload entries here carry
+    only a digest — enough for a client to *prove* its concatenated
+    frames match the stream's full record arrays without a re-send.
+    """
+    report = result.report
+    return {
+        "type": "StreamResult",
+        "windows": result.windows,
+        "steps": result.steps,
+        "dedup_ratio": result.dedup_ratio,
+        "report": {
+            "backend": report.backend,
+            "plan": report.plan,
+            "tile_m": report.tile_m,
+            "tile_k": report.tile_k,
+            "model": report.model,
+            "total_tiles": report.total_tiles,
+            "total_seconds": report.total_seconds,
+            "tiles_per_sec": report.tiles_per_sec,
+            "planned_tiles": report.planned_tiles,
+            "unique_tiles": report.unique_tiles,
+            "cache_hits": report.cache_hits,
+            "cache_misses": report.cache_misses,
+            "store_hits": report.store_hits,
+            "store_misses": report.store_misses,
+            "runs": [
+                {
+                    "name": run.name,
+                    "kind": run.kind,
+                    "tiles": run.tiles,
+                    "records": encode_records(run.records, "digest"),
                 }
                 for run in report.runs
             ],

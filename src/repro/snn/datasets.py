@@ -27,7 +27,7 @@ class DatasetSpec:
     """Shape metadata for one synthetic dataset."""
 
     name: str
-    kind: str  # "image" | "dvs" | "text"
+    kind: str  # "image" | "dvs" | "text" | "audio"
     channels: int = 3
     size: int = 32
     classes: int = 10
@@ -45,6 +45,11 @@ SPECS: dict[str, DatasetSpec] = {
     "mr": DatasetSpec("mr", "text", classes=2, seq_len=64),
     "qqp": DatasetSpec("qqp", "text", classes=2, seq_len=64),
     "mnli": DatasetSpec("mnli", "text", classes=3, seq_len=64),
+    # Google Speech Commands stand-in: 40 mel bands x 101 frames is the
+    # standard MFCC front end for the 12-keyword task (tc-res8 input).
+    "speechcommands": DatasetSpec(
+        "speechcommands", "audio", channels=40, size=101, classes=12
+    ),
 }
 
 
@@ -71,6 +76,42 @@ def synthetic_image(
     image -= image.min()
     peak = image.max()
     return image / peak if peak > 0 else image
+
+
+def synthetic_audio(
+    spec: DatasetSpec, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """One mel-spectrogram-like ``(C, L)`` patch in [0, 1].
+
+    Keyword audio is a few formant bands sweeping slowly over ~1 s of
+    frames on a quiet background. Smooth band trajectories make
+    neighbouring frames (im2col1d rows) similar — the temporal
+    correlation that seeds PM/EM matches in speech SNNs, just as blob
+    structure does for images.
+    """
+    rng = rng if rng is not None else default_rng()
+    bands, frames = spec.channels, spec.size
+    noise = rng.random((bands, frames))
+    background = ndimage.gaussian_filter(noise, sigma=(1.5, 4.0))
+    energy = np.zeros((bands, frames))
+    yy = np.arange(bands, dtype=np.float64)
+    tt = np.linspace(0.0, 1.0, frames)
+    for _ in range(rng.integers(2, 5)):
+        center = rng.uniform(0.1, 0.9) * bands
+        sweep = rng.uniform(-0.3, 0.3) * bands
+        width = bands * rng.uniform(0.04, 0.12)
+        onset, release = np.sort(rng.uniform(0.0, 1.0, size=2))
+        envelope = np.clip((tt - onset) / 0.1, 0.0, 1.0) * np.clip(
+            (release + 0.1 - tt) / 0.1, 0.0, 1.0
+        )
+        track = center + sweep * tt
+        energy += envelope[None, :] * np.exp(
+            -((yy[:, None] - track[None, :]) ** 2) / (2 * width**2)
+        )
+    patch = 0.3 * background + 0.7 * energy
+    patch -= patch.min()
+    peak = patch.max()
+    return patch / peak if peak > 0 else patch
 
 
 def synthetic_dvs(

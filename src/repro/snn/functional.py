@@ -50,6 +50,64 @@ def im2col(
     return windows.reshape(t * oh * ow, c * kernel * kernel)
 
 
+def im2col1d(
+    sequences: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """1D im2col for temporal-conv speech models.
+
+    Parameters
+    ----------
+    sequences:
+        ``(T, C, L)`` input (binary spikes or float currents).
+
+    Returns
+    -------
+    ``(T * OL, C * kernel)`` matrix whose rows are flattened receptive
+    fields along the sequence axis — the 1D analogue of :func:`im2col`,
+    with the same time-major row ordering.
+    """
+    sequences = np.asarray(sequences)
+    if sequences.ndim != 3:
+        raise ValueError(f"expected (T, C, L), got shape {sequences.shape}")
+    t, c, length = sequences.shape
+    ol = conv_output_size(length, kernel, stride, padding)
+    if padding:
+        padded = np.zeros((t, c, length + 2 * padding), dtype=sequences.dtype)
+        padded[:, :, padding : padding + length] = sequences
+        sequences = padded
+    windows = np.lib.stride_tricks.sliding_window_view(sequences, kernel, axis=2)
+    windows = windows[:, :, ::stride, :]  # (T, C, OL, k)
+    windows = windows.transpose(0, 2, 1, 3)  # (T, OL, C, k)
+    return windows.reshape(t * ol, c * kernel)
+
+
+def fold_gemm_output_1d(result: np.ndarray, t: int, ol: int) -> np.ndarray:
+    """Reshape a ``(T*OL, C_out)`` GeMM result back to ``(T, C_out, OL)``."""
+    result = np.asarray(result)
+    c_out = result.shape[1]
+    return result.reshape(t, ol, c_out).transpose(0, 2, 1)
+
+
+def max_pool_spikes_1d(spikes: np.ndarray, window: int = 2) -> np.ndarray:
+    """Max-pool binary spike sequences; on {0,1} data this is a window OR."""
+    spikes = np.asarray(spikes)
+    t, c, length = spikes.shape
+    if length % window:
+        raise ValueError(f"sequence length {length} not divisible by window {window}")
+    view = spikes.reshape(t, c, length // window, window)
+    return view.max(axis=3)
+
+
+def avg_pool_1d(values: np.ndarray, window: int = 2) -> np.ndarray:
+    """Average-pool float sequences (used before classifier heads)."""
+    values = np.asarray(values, dtype=np.float64)
+    t, c, length = values.shape
+    if length % window:
+        raise ValueError(f"sequence length {length} not divisible by window {window}")
+    view = values.reshape(t, c, length // window, window)
+    return view.mean(axis=3)
+
+
 def col2im_shape(t: int, out_channels: int, oh: int, ow: int) -> tuple[int, int, int, int]:
     """Output tensor shape corresponding to an im2col GeMM result."""
     return (t, out_channels, oh, ow)

@@ -137,6 +137,52 @@ class SpikingConv2d(_SpikingGeMMLayer):
         return self._fire(currents, channel_axis=1)
 
 
+class SpikingConv1d(_SpikingGeMMLayer):
+    """Temporal conv + folded BN + LIF, lowered via 1D im2col.
+
+    Input/output: ``(T, C, L)`` binary spikes — the speech-command path
+    (tc-res-style models treat mel bands as channels and convolve along
+    the frame axis).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        padding: int = 1,
+        name: str = "conv1d",
+        target_rate: float = 0.25,
+        tau: float = 2.0,
+        rng: np.random.Generator | None = None,
+        rate_spread: float = 1.5,
+    ):
+        super().__init__(
+            name, in_channels * kernel, out_channels, target_rate, tau, rng,
+            rate_spread=rate_spread,
+        )
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, spikes: np.ndarray) -> np.ndarray:
+        spikes = np.asarray(spikes)
+        t, c, length = spikes.shape
+        if c != self.in_channels:
+            raise ValueError(f"{self.name}: expected {self.in_channels} channels, got {c}")
+        ol = F.conv_output_size(length, self.kernel, self.stride, self.padding)
+        cols = F.im2col1d(spikes, self.kernel, self.stride, self.padding)
+        if spikes.dtype == bool:
+            record_gemm(self.name, cols, self.out_channels, kind="conv", time_steps=t)
+        currents = cols.astype(np.float64) @ self.weight
+        currents = F.fold_gemm_output_1d(currents, t, ol)
+        currents = self._normalize(currents, channel_axis=1)
+        return self._fire(currents, channel_axis=1)
+
+
 class SpikingLinear(_SpikingGeMMLayer):
     """Fully connected + LIF. Input ``(T, ..., in_features)`` binary spikes."""
 
@@ -200,6 +246,28 @@ class AvgPool2d(Layer):
 
     def forward(self, values: np.ndarray) -> np.ndarray:
         return F.avg_pool(values, self.window)
+
+
+class MaxPool1d(Layer):
+    """Window-OR pooling on binary spike sequences."""
+
+    def __init__(self, window: int = 2, name: str = "maxpool1d"):
+        super().__init__(name)
+        self.window = window
+
+    def forward(self, spikes: np.ndarray) -> np.ndarray:
+        return F.max_pool_spikes_1d(spikes, self.window)
+
+
+class AvgPool1d(Layer):
+    """Average pooling over sequences (float path)."""
+
+    def __init__(self, window: int = 2, name: str = "avgpool1d"):
+        super().__init__(name)
+        self.window = window
+
+    def forward(self, values: np.ndarray) -> np.ndarray:
+        return F.avg_pool_1d(values, self.window)
 
 
 class Flatten(Layer):

@@ -8,11 +8,13 @@ import numpy as np
 
 from repro.snn.models.alexnet import build_alexnet
 from repro.snn.models.lenet import build_lenet5
+from repro.snn.models.recurrent import build_recurrent
 from repro.snn.models.resnet import build_resnet18, build_resnet19
 from repro.snn.models.sdt import build_sdt
 from repro.snn.models.spikebert import build_spikebert
 from repro.snn.models.spikformer import build_spikformer
 from repro.snn.models.spikingbert import build_spikingbert
+from repro.snn.models.tcres import build_tcres8
 from repro.snn.models.vgg import build_vgg9, build_vgg16
 from repro.snn.network import SpikingModel
 
@@ -27,6 +29,8 @@ MODEL_BUILDERS: dict[str, Callable[..., SpikingModel]] = {
     "sdt": build_sdt,
     "spikebert": build_spikebert,
     "spikingbert": build_spikingbert,
+    "tcres8": build_tcres8,
+    "recurrent": build_recurrent,
 }
 
 # Whether a model is a spiking transformer (drives the Fig. 8 baseline set:
@@ -55,12 +59,14 @@ __all__ = [
     "build_model",
     "build_alexnet",
     "build_lenet5",
+    "build_recurrent",
     "build_resnet18",
     "build_resnet19",
     "build_sdt",
     "build_spikebert",
     "build_spikformer",
     "build_spikingbert",
+    "build_tcres8",
     "build_vgg9",
     "build_vgg16",
 ]

@@ -1,0 +1,198 @@
+"""Recurrent spiking network: one stepwise cell over speech frames.
+
+Unlike the feed-forward zoo, the recurrent family carries *state* between
+timesteps: each frame's input spikes are concatenated with the previous
+hidden spikes, driven through one weight matrix, and fired through a LIF
+neuron whose membrane also persists. One trace row per timestep — which
+is exactly what makes the family streamable: the
+:class:`~repro.streaming.source.RecurrentSource` steps the same cell
+window by window and, given the same seeds, reproduces the batch trace
+row for row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.snn import functional as F
+from repro.snn.datasets import get_spec, synthetic_audio
+from repro.snn.layers import Layer, SpikingLinear
+from repro.snn.network import SpikingModel
+from repro.snn.trace import record_gemm
+from repro.utils.rng import default_rng
+
+
+@dataclass
+class RecurrentState:
+    """Carried per-timestep state: hidden spikes plus LIF membrane."""
+
+    hidden: np.ndarray  # (hidden_dim,) bool
+    membrane: np.ndarray  # (hidden_dim,) float64
+
+    def copy(self) -> "RecurrentState":
+        return RecurrentState(self.hidden.copy(), self.membrane.copy())
+
+
+class RecurrentSpikingCell:
+    """One recurrent spiking layer, stepped a single frame at a time.
+
+    The GeMM row for step ``t`` is ``z_t = [x_t | h_{t-1}]`` — input
+    spikes concatenated with the previous hidden spikes — so the full
+    sequence stacks into one ``(T, input_dim + hidden_dim)`` binary
+    workload. Normalization statistics and the firing threshold are
+    calibrated once on a closed-loop rollout (deterministic given the
+    calibration frames), so stepping the cell incrementally later is
+    bit-reproducible.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        name: str = "cell",
+        target_rate: float = 0.25,
+        tau: float = 2.0,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng if rng is not None else default_rng()
+        self.name = name
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        fan_in = input_dim + hidden_dim
+        self.weight = rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, hidden_dim))
+        self.decay = 1.0 - 1.0 / tau
+        self.target_rate = target_rate
+        self.v_threshold: float | None = None
+        self._norm_mean: np.ndarray | None = None
+        self._norm_std: np.ndarray | None = None
+
+    # -- state ----------------------------------------------------------
+    def init_state(self) -> RecurrentState:
+        return RecurrentState(
+            hidden=np.zeros(self.hidden_dim, dtype=bool),
+            membrane=np.zeros(self.hidden_dim, dtype=np.float64),
+        )
+
+    # -- stepping -------------------------------------------------------
+    def step(
+        self, x_t: np.ndarray, state: RecurrentState
+    ) -> tuple[np.ndarray, RecurrentState]:
+        """Advance one frame; returns (z_t row, next state)."""
+        if self.v_threshold is None:
+            raise RuntimeError(f"{self.name}: step() before calibrate()")
+        z = np.concatenate([np.asarray(x_t, dtype=bool), state.hidden])
+        current = z.astype(np.float64) @ self.weight
+        current = (current - self._norm_mean) / self._norm_std
+        v = state.membrane * self.decay + current
+        fired = v >= self.v_threshold
+        membrane = np.where(fired, 0.0, v)
+        return z, RecurrentState(hidden=fired, membrane=membrane)
+
+    def rollout(self, frames: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Step every frame from a fresh state; returns (Z, H) stacks."""
+        state = self.init_state()
+        zs, hs = [], []
+        for x_t in frames:
+            z, state = self.step(x_t, state)
+            zs.append(z)
+            hs.append(state.hidden)
+        return np.stack(zs), np.stack(hs)
+
+    # -- calibration ----------------------------------------------------
+    def calibrate(self, frames: np.ndarray) -> None:
+        """Fit norm stats (open loop) and bisect the threshold (closed loop).
+
+        The hidden rate depends on the threshold through the recurrent
+        feedback, so each bisection iteration replays the whole
+        calibration sequence. Idempotent and deterministic: recalibrating
+        on the same frames lands on the same threshold.
+        """
+        frames = np.asarray(frames, dtype=bool)
+        z0 = np.hstack(
+            [frames, np.zeros((len(frames), self.hidden_dim), dtype=bool)]
+        )
+        currents = z0.astype(np.float64) @ self.weight
+        self._norm_mean, self._norm_std = F.batch_norm_stats(currents, channel_axis=1)
+        low, high = 0.0, float(len(frames)) + 2.0
+        best = 1.0
+        for _ in range(25):
+            mid = 0.5 * (low + high)
+            self.v_threshold = mid
+            _, hidden = self.rollout(frames)
+            rate = float(hidden.mean())
+            best = mid
+            if abs(rate - self.target_rate) <= 0.01:
+                break
+            if rate > self.target_rate:
+                low = mid
+            else:
+                high = mid
+        self.v_threshold = best
+
+
+def encode_frames(patch: np.ndarray, rate: float = 0.3) -> np.ndarray:
+    """Binarize a ``(C, L)`` spectrogram into ``(L, C)`` frame spikes.
+
+    One global quantile threshold pins the overall spike rate; smooth
+    band trajectories then give consecutive frames heavily overlapping
+    spike sets — the temporal correlation the recurrent cell (and the
+    product-sparsity engine downstream) feeds on.
+    """
+    patch = np.asarray(patch, dtype=np.float64)
+    threshold = np.quantile(patch, 1.0 - rate)
+    return (patch.T > threshold)
+
+
+class _RecurrentNet(Layer):
+    """Stepwise rollout wrapped as a traceable network.
+
+    Records two workloads: the cell GeMM over stacked ``z`` rows and the
+    classifier head over stacked hidden spikes — one row per timestep in
+    both, which keeps the trace windowable at timestep granularity.
+    """
+
+    def __init__(self, cell: RecurrentSpikingCell, head: SpikingLinear):
+        super().__init__("recurrent")
+        self.cell = cell
+        self.head = head
+
+    def forward(self, frames: np.ndarray) -> np.ndarray:
+        if self.cell.v_threshold is None:
+            self.cell.calibrate(frames)
+        zs, hidden = self.cell.rollout(frames)
+        record_gemm(
+            self.cell.name, zs, self.cell.hidden_dim, kind="linear",
+            time_steps=len(frames),
+        )
+        return self.head(hidden)
+
+
+def build_recurrent(
+    dataset: str = "speechcommands",
+    rng: np.random.Generator | None = None,
+    hidden_dim: int = 128,
+    target_rate: float = 0.25,
+    tau: float = 2.0,
+    input_rate: float = 0.3,
+) -> SpikingModel:
+    """Recurrent spiking net over speech frames (one GeMM row per step)."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    spec = get_spec(dataset)
+    cell = RecurrentSpikingCell(
+        spec.channels, hidden_dim, name="cell", target_rate=target_rate,
+        tau=tau, rng=rng,
+    )
+    head = SpikingLinear(
+        hidden_dim, spec.classes, name="head", fire=False,
+        target_rate=target_rate, tau=tau, rng=rng,
+    )
+    network = _RecurrentNet(cell, head)
+
+    class _RecurrentModel(SpikingModel):
+        def build_input(self, rng_in: np.random.Generator) -> np.ndarray:
+            patch = synthetic_audio(get_spec(self.dataset), rng_in)
+            return encode_frames(patch, rate=input_rate)
+
+    return _RecurrentModel("recurrent", dataset, network)

@@ -1,0 +1,100 @@
+"""Spiking TC-ResNet-8 for keyword spotting (Choi et al. 2019, spiking).
+
+The temporal-convolution ResNet treats the mel bands of a speech-command
+spectrogram as input *channels* and convolves along the frame axis only,
+so every layer lowers to a 1D im2col spiking GeMM. This is the
+speech-command workload family of ROADMAP item 5: an always-on,
+low-latency model whose frame-to-frame input correlation feeds the same
+product-sparsity structure the vision models show spatially.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.snn.datasets import get_spec, synthetic_audio
+from repro.snn.encoding import direct_threshold_encode
+from repro.snn.layers import Flatten, Layer, SpikingConv1d, SpikingLinear
+from repro.snn.network import Sequential, SpikingModel
+
+
+class TemporalBlock(Layer):
+    """Two kernel-9 spiking 1D convs with a binary (OR) residual shortcut.
+
+    When the block changes stride or width, the shortcut is a strided
+    1x1 spiking conv so both branches stay binary and shape-compatible
+    (the 1D analogue of the ResNet :class:`BasicBlock`).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int,
+        name: str,
+        target_rate: float,
+        tau: float,
+        rng: np.random.Generator,
+    ):
+        super().__init__(name)
+        self.conv1 = SpikingConv1d(
+            in_channels, out_channels, kernel=9, stride=stride, padding=4,
+            name=f"{name}.conv1", target_rate=target_rate, tau=tau, rng=rng,
+        )
+        self.conv2 = SpikingConv1d(
+            out_channels, out_channels, kernel=9, stride=1, padding=4,
+            name=f"{name}.conv2", target_rate=target_rate, tau=tau, rng=rng,
+        )
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut: Layer | None = SpikingConv1d(
+                in_channels, out_channels, kernel=1, stride=stride, padding=0,
+                name=f"{name}.shortcut", target_rate=target_rate, tau=tau, rng=rng,
+            )
+        else:
+            self.shortcut = None
+
+    def forward(self, spikes: np.ndarray) -> np.ndarray:
+        out = self.conv2(self.conv1(spikes))
+        identity = spikes if self.shortcut is None else self.shortcut(spikes)
+        return out | identity
+
+
+def build_tcres8(
+    dataset: str = "speechcommands",
+    rng: np.random.Generator | None = None,
+    time_steps: int = 4,
+    target_rate: float = 0.25,
+    tau: float = 2.0,
+    scale: float = 1.0,
+) -> SpikingModel:
+    """TC-ResNet-8 topology: a stem conv plus three strided blocks."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    spec = get_spec(dataset)
+
+    def width(value: int) -> int:
+        return max(4, int(round(value * scale)))
+
+    common = dict(target_rate=target_rate, tau=tau, rng=rng)
+    # Frame counts through the strided blocks: 101 -> 51 -> 26 -> 13.
+    frames = spec.size
+    for _ in range(3):
+        frames = (frames + 2 * 4 - 9) // 2 + 1
+    layers: list[Layer] = [
+        SpikingConv1d(
+            spec.channels, width(16), kernel=3, stride=1, padding=1,
+            name="conv0", **common,
+        ),
+        TemporalBlock(width(16), width(24), stride=2, name="block1", **common),
+        TemporalBlock(width(24), width(32), stride=2, name="block2", **common),
+        TemporalBlock(width(32), width(48), stride=2, name="block3", **common),
+        Flatten(name="flatten"),
+        SpikingLinear(width(48) * frames, spec.classes, name="head", fire=False, **common),
+    ]
+    network = Sequential(layers, name="tcres8")
+
+    class _TCResModel(SpikingModel):
+        def build_input(self, rng_in: np.random.Generator) -> np.ndarray:
+            patch = synthetic_audio(get_spec(self.dataset), rng_in)
+            return direct_threshold_encode(patch, time_steps)
+
+    return _TCResModel("tcres8", dataset, network)

@@ -1,0 +1,39 @@
+"""Sliding-window streaming inference over unbounded event traces.
+
+The streaming subsystem runs the ProSparsity pipeline *incrementally*:
+a :class:`StreamSource` delivers spike rows one timestep at a time, the
+:class:`StreamRunner` assembles them into global tile bands and executes
+sliding windows through a shared engine, and every record is
+bit-identical to the equivalent batch :meth:`~repro.engine.pipeline.
+ProsperityEngine.run`. Higher layers (``Session.stream_source``, the
+scheduler's ``"stream"`` job kind, ``repro stream``, and the server's
+``POST /v1/streams``) are thin wrappers over these two classes.
+"""
+
+from repro.streaming.runner import (
+    StreamChunk,
+    StreamResult,
+    StreamRunner,
+    StreamStalledError,
+)
+from repro.streaming.source import (
+    PoissonEventSource,
+    RecurrentSource,
+    StreamSource,
+    StreamWorkload,
+    TraceReplaySource,
+    build_source,
+)
+
+__all__ = [
+    "PoissonEventSource",
+    "RecurrentSource",
+    "StreamChunk",
+    "StreamResult",
+    "StreamRunner",
+    "StreamSource",
+    "StreamStalledError",
+    "StreamWorkload",
+    "TraceReplaySource",
+    "build_source",
+]

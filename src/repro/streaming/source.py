@@ -1,0 +1,270 @@
+"""Event-stream sources: where a stream's per-timestep spike rows come from.
+
+A :class:`StreamSource` models an *unbounded-style* event trace as a
+sequence of timesteps, each delivering zero or more binary rows per
+named workload. The :class:`~repro.streaming.runner.StreamRunner` pulls
+steps strictly in order (each step exactly once), so sources may carry
+state between steps — the whole point of :class:`RecurrentSource`.
+
+Three sources cover the paper-relevant shapes:
+
+* :class:`TraceReplaySource` — replays any registered workload trace
+  (:func:`repro.workloads.get_trace`) as a timestep stream, mapping each
+  workload's rows onto the stream clock proportionally. Streamed records
+  are bit-identical to the batch run of the same trace.
+* :class:`PoissonEventSource` — seeded synthetic spike events at a
+  configured Bernoulli rate, a fixed ``rows x cols`` block per step.
+  Deterministic given its seed, and :meth:`batch_trace` exposes the
+  equivalent whole-matrix workload for identity checks.
+* :class:`RecurrentSource` — steps the recurrent spiking cell of
+  :mod:`repro.snn.models.recurrent` one frame at a time, carrying
+  hidden/membrane state across windows. Because both of that family's
+  workloads have exactly one trace row per timestep, stepping the same
+  calibrated cell reproduces the batch trace row for row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.snn.models import build_model
+from repro.snn.trace import GeMMWorkload, ModelTrace
+from repro.core.spike_matrix import SpikeMatrix
+from repro.workloads import get_trace, preset_kwargs
+
+__all__ = [
+    "PoissonEventSource",
+    "RecurrentSource",
+    "StreamSource",
+    "StreamWorkload",
+    "TraceReplaySource",
+    "build_source",
+]
+
+
+@dataclass(frozen=True)
+class StreamWorkload:
+    """Static description of one workload a source feeds rows into."""
+
+    name: str
+    kind: str  # "conv" | "linear" | "attention"
+    cols: int  # K — fixed for the stream's lifetime
+    n: int  # output feature dimension (weight columns)
+
+
+class StreamSource:
+    """Base class: named workloads plus an ordered ``emit(step)`` feed.
+
+    Contract: the runner calls :meth:`emit` with ``step`` = 0, 1, ...,
+    ``steps - 1``, each exactly once and in order — sources may therefore
+    keep per-step state. ``emit`` returns ``{workload name: (r, cols)
+    bool array}``; workloads with no rows this step may be omitted.
+    """
+
+    name: str = "stream"
+    workloads: tuple[StreamWorkload, ...] = ()
+    steps: int = 0
+
+    def emit(self, step: int) -> dict[str, np.ndarray]:
+        raise NotImplementedError
+
+    def batch_trace(self) -> ModelTrace:
+        """The equivalent whole-trace batch workload (identity oracle)."""
+        raise NotImplementedError
+
+    def _check_step(self, step: int, expected: int) -> None:
+        if step != expected:
+            raise ValueError(
+                f"{self.name}: emit({step}) out of order; expected step "
+                f"{expected} (sources are stateful and strictly sequential)"
+            )
+
+
+class TraceReplaySource(StreamSource):
+    """Replay a batch :class:`ModelTrace` as a timestep event stream.
+
+    The stream clock is the trace's largest ``time_steps``; each
+    workload's ``m`` rows are mapped proportionally onto that clock, so
+    step ``s`` delivers rows ``[floor(s*m/T), floor((s+1)*m/T))`` — every
+    row exactly once, in matrix order. Tiling downstream therefore cuts
+    the same global row bands the batch path does, which is what makes
+    the streamed records bit-identical to ``ProsperityEngine.run``.
+    """
+
+    def __init__(self, trace: ModelTrace, name: str | None = None):
+        self.trace = trace
+        self.name = name if name is not None else f"{trace.model}/{trace.dataset}"
+        self.steps = max((w.time_steps for w in trace.workloads), default=1)
+        self.workloads = tuple(
+            StreamWorkload(name=w.name, kind=w.kind, cols=w.k, n=w.n)
+            for w in trace.workloads
+        )
+        self._emitted = 0
+
+    def emit(self, step: int) -> dict[str, np.ndarray]:
+        self._check_step(step, self._emitted)
+        self._emitted += 1
+        out: dict[str, np.ndarray] = {}
+        for workload in self.trace.workloads:
+            m = workload.m
+            lo = (step * m) // self.steps
+            hi = ((step + 1) * m) // self.steps
+            if hi > lo:
+                out[workload.name] = workload.spikes.bits[lo:hi]
+        return out
+
+    def batch_trace(self) -> ModelTrace:
+        return self.trace
+
+
+class PoissonEventSource(StreamSource):
+    """Seeded synthetic spike events: one Bernoulli block per step.
+
+    Every step emits a ``rows x cols`` binary block whose entries fire
+    independently at ``rate`` — the event-camera-style stand-in for an
+    unbounded sensor stream. All blocks are drawn up front from one
+    seeded generator, so the stream is deterministic and
+    :meth:`batch_trace` can expose the concatenated matrix as a single
+    batch workload for bit-identity checks.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.15,
+        rows: int = 256,
+        cols: int = 64,
+        steps: int = 16,
+        seed: int = 7,
+    ):
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"rate must be in (0, 1], got {rate}")
+        for label, value in (("rows", rows), ("cols", cols), ("steps", steps)):
+            if value < 1:
+                raise ValueError(f"{label} must be >= 1, got {value}")
+        self.name = f"poisson(rate={rate})"
+        self.rate = rate
+        self.rows = rows
+        self.cols = cols
+        self.steps = steps
+        rng = np.random.default_rng(seed)
+        self._bits = rng.random((steps * rows, cols)) < rate
+        self.workloads = (
+            StreamWorkload(name="events", kind="linear", cols=cols, n=cols),
+        )
+        self._emitted = 0
+
+    def emit(self, step: int) -> dict[str, np.ndarray]:
+        self._check_step(step, self._emitted)
+        self._emitted += 1
+        return {"events": self._bits[step * self.rows : (step + 1) * self.rows]}
+
+    def batch_trace(self) -> ModelTrace:
+        return ModelTrace(
+            model="poisson",
+            dataset="synthetic",
+            workloads=[
+                GeMMWorkload(
+                    name="events",
+                    spikes=SpikeMatrix(self._bits),
+                    n=self.cols,
+                    kind="linear",
+                    time_steps=self.steps,
+                )
+            ],
+        )
+
+
+class RecurrentSource(StreamSource):
+    """Step the recurrent spiking cell frame by frame, carrying state.
+
+    Rebuilds the exact model :func:`repro.workloads.get_trace` builds for
+    ``("recurrent", dataset, preset, seed)`` — same generator, same
+    preset overrides, same synthetic frames — calibrates the cell on the
+    full frame sequence once (exactly what the batch forward pass does),
+    then steps it one frame per stream timestep. Each step emits one
+    ``z = [x_t | h_{t-1}]`` row to the ``"cell"`` workload and one hidden
+    row to the ``"head"`` workload, so the streamed rows equal the batch
+    trace's rows one for one and the hidden/membrane state genuinely
+    crosses window boundaries.
+    """
+
+    def __init__(
+        self, dataset: str = "speechcommands", preset: str = "small", seed: int = 7
+    ):
+        kwargs = preset_kwargs("recurrent", preset)
+        rng = np.random.default_rng(seed)
+        model = build_model("recurrent", dataset, rng=rng, **kwargs)
+        self._frames = model.build_input(rng)
+        cell = model.network.cell
+        cell.calibrate(self._frames)
+        self._cell = cell
+        self.state = cell.init_state()
+        self.name = f"recurrent/{dataset}"
+        self.dataset = dataset
+        self.preset = preset
+        self.seed = seed
+        self.steps = len(self._frames)
+        self.workloads = (
+            StreamWorkload(
+                name=cell.name,
+                kind="linear",
+                cols=cell.input_dim + cell.hidden_dim,
+                n=cell.hidden_dim,
+            ),
+            StreamWorkload(
+                name="head",
+                kind="linear",
+                cols=cell.hidden_dim,
+                n=model.network.head.weight.shape[1],
+            ),
+        )
+        self._emitted = 0
+
+    def emit(self, step: int) -> dict[str, np.ndarray]:
+        self._check_step(step, self._emitted)
+        self._emitted += 1
+        z, self.state = self._cell.step(self._frames[step], self.state)
+        return {
+            self._cell.name: z[None, :],
+            "head": self.state.hidden[None, :],
+        }
+
+    def batch_trace(self) -> ModelTrace:
+        return get_trace("recurrent", self.dataset, self.preset, self.seed)
+
+
+def build_source(config) -> StreamSource:
+    """The :class:`StreamSource` a ``[streaming]`` config section names.
+
+    ``"replay"`` streams the ``[workload]`` section's trace;
+    ``"poisson"`` draws from the streaming section's ``rate`` / ``rows``
+    / ``cols`` / ``steps`` knobs (seeded by ``workload.seed``);
+    ``"recurrent"`` steps the recurrent cell model — on the configured
+    dataset when the workload section already names the recurrent model,
+    else on its home dataset.
+    """
+    streaming = config.streaming
+    workload = config.workload
+    if streaming.source == "replay":
+        trace = get_trace(
+            workload.model, workload.dataset, workload.preset, workload.seed
+        )
+        return TraceReplaySource(trace)
+    if streaming.source == "poisson":
+        return PoissonEventSource(
+            rate=streaming.rate,
+            rows=streaming.rows,
+            cols=streaming.cols,
+            steps=streaming.steps,
+            seed=workload.seed,
+        )
+    if streaming.source == "recurrent":
+        dataset = (
+            workload.dataset if workload.model == "recurrent" else "speechcommands"
+        )
+        return RecurrentSource(
+            dataset=dataset, preset=workload.preset, seed=workload.seed
+        )
+    raise ValueError(f"unknown stream source {streaming.source!r}")

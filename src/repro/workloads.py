@@ -55,6 +55,8 @@ FIG11_GRID: tuple[tuple[str, str], ...] = (
     ("spikebert", "sst5"),
     ("spikingbert", "sst2"),
     ("spikingbert", "qqp"),
+    ("tcres8", "speechcommands"),
+    ("recurrent", "speechcommands"),
 )
 
 # Builder overrides per preset. "small" shrinks width/depth but keeps the
@@ -63,6 +65,8 @@ _PRESET_KWARGS: dict[str, dict[str, dict]] = {
     "paper": {
         "spikebert": dict(depth=12, dim=768),
         "spikingbert": dict(depth=4, dim=768),
+        "tcres8": dict(time_steps=8),
+        "recurrent": dict(hidden_dim=256),
     },
     "small": {
         "vgg16": dict(scale=0.25),
@@ -75,13 +79,15 @@ _PRESET_KWARGS: dict[str, dict[str, dict]] = {
         "sdt": dict(dim=128, depth=1, heads=4),
         "spikebert": dict(dim=192, depth=2, heads=6),
         "spikingbert": dict(dim=192, depth=2, heads=6),
+        "tcres8": dict(scale=0.5, time_steps=4),
+        "recurrent": dict(hidden_dim=64),
     },
 }
 
 #: Valid ``preset`` names for :func:`get_trace` (and config validation).
 PRESETS: tuple[str, ...] = tuple(sorted(_PRESET_KWARGS))
 
-_TRACE_CACHE: dict[tuple[str, str, str, int], ModelTrace] = {}
+_TRACE_CACHE: dict[tuple, ModelTrace] = {}
 
 
 def get_trace(
@@ -90,13 +96,30 @@ def get_trace(
     """Build (or fetch from cache) the trace for one model/dataset pair."""
     if preset not in _PRESET_KWARGS:
         raise KeyError(f"unknown preset {preset!r}; known: {sorted(_PRESET_KWARGS)}")
-    key = (model, dataset, preset, seed)
+    # The cache key folds in the preset's builder overrides, not just the
+    # preset *name*: presets are mutable module data (tests and sweeps
+    # adjust them), and a stale entry keyed only by name would silently
+    # serve a trace built with different overrides — the streaming replay
+    # sources depend on this key being exact.
+    kwargs = _PRESET_KWARGS[preset].get(model, {})
+    key = (model, dataset, preset, seed, tuple(sorted(kwargs.items())))
     if key not in _TRACE_CACHE:
         rng = np.random.default_rng(seed)
-        kwargs = _PRESET_KWARGS[preset].get(model, {})
         instance = build_model(model, dataset, rng=rng, **kwargs)
         _TRACE_CACHE[key] = instance.trace(rng)
     return _TRACE_CACHE[key]
+
+
+def preset_kwargs(model: str, preset: str) -> dict:
+    """Builder overrides one preset applies to one model (a copy).
+
+    The streaming sources use this to rebuild a model with *exactly* the
+    overrides :func:`get_trace` would apply, so a stepped replay stays
+    bit-identical to the cached batch trace.
+    """
+    if preset not in _PRESET_KWARGS:
+        raise KeyError(f"unknown preset {preset!r}; known: {sorted(_PRESET_KWARGS)}")
+    return dict(_PRESET_KWARGS[preset].get(model, {}))
 
 
 def clear_trace_cache() -> None:

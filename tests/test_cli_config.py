@@ -27,6 +27,7 @@ HELP_CASES = {
     "batch": ["batch", "--help"],
     "serve": ["serve", "--help"],
     "submit": ["submit", "--help"],
+    "stream": ["stream", "--help"],
     "cache": ["cache", "--help"],
     "cache_stats": ["cache", "stats", "--help"],
     "tradeoff": ["tradeoff", "--help"],

@@ -15,7 +15,7 @@ from repro.workloads import FIG8_GRID, FIG11_GRID, get_trace
 class TestWorkloadRegistry:
     def test_grids_well_formed(self):
         assert len(FIG8_GRID) == 16
-        assert len(FIG11_GRID) == 16
+        assert len(FIG11_GRID) == 18
         assert len(set(FIG8_GRID)) == 16
 
     def test_cache_returns_same_object(self):

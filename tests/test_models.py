@@ -16,6 +16,7 @@ class TestRegistry:
         expected = {
             "vgg16", "vgg9", "resnet18", "resnet19", "lenet5", "alexnet",
             "spikformer", "sdt", "spikebert", "spikingbert",
+            "tcres8", "recurrent",
         }
         assert set(MODEL_BUILDERS) == expected
 
